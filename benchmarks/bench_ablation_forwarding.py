@@ -1,0 +1,65 @@
+"""A-FWD — forwarding-policy ablation (the paper's §7 future work:
+"different methods for forwarding the request messages").
+
+Burst and moderate Poisson workloads across the four policies.  The
+paper uses ``random``; ``least_informed`` tends to spread votes
+fastest (lower NME under burst), while ``sequential`` is the
+deterministic reference.
+"""
+
+from benchmarks.conftest import report
+from repro.core import RCVConfig
+from repro.core.forwarding import POLICIES
+from repro.experiments import render_rows
+from repro.metrics import summarize
+from repro.workload import BurstArrivals, PoissonArrivals, Scenario, run_scenario
+
+
+def _measure():
+    rows = []
+    for policy in sorted(POLICIES):
+        cfg = RCVConfig(forwarding=policy)
+        burst = [
+            run_scenario(
+                Scenario(
+                    algorithm="rcv",
+                    n_nodes=20,
+                    arrivals=BurstArrivals(),
+                    seed=seed,
+                    algo_kwargs={"config": cfg},
+                )
+            )
+            for seed in range(4)
+        ]
+        poisson = [
+            run_scenario(
+                Scenario(
+                    algorithm="rcv",
+                    n_nodes=20,
+                    arrivals=PoissonArrivals(rate=1 / 15.0),
+                    seed=seed,
+                    issue_deadline=5_000,
+                    drain_deadline=20_000,
+                    algo_kwargs={"config": cfg},
+                )
+            )
+            for seed in range(4)
+        ]
+        rows.append(
+            {
+                "policy": policy,
+                "burst NME": str(summarize(r.nme for r in burst)),
+                "burst RT": str(summarize(r.mean_response_time for r in burst)),
+                "poisson NME": str(summarize(r.nme for r in poisson)),
+                "poisson RT": str(
+                    summarize(r.mean_response_time for r in poisson)
+                ),
+            }
+        )
+    return rows
+
+
+def test_forwarding_ablation(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    report(render_rows(rows, title="RM forwarding policy ablation (N=20)"))
+    assert len(rows) == 4

@@ -1,0 +1,64 @@
+"""A-EXT — extended algorithm comparison (paper §7 future work:
+"conduct simulation studies to compare with more existing
+algorithms").
+
+All eight baselines plus RCV on the Figure-4 burst workload at N=25,
+reported with all three of the paper's measures.  Token- and
+tree-based algorithms trade structure/token fragility for message
+counts; RCV is the cheapest of the *unstructured, token-free* group.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import render_rows
+from repro.metrics import summarize
+from repro.workload import BurstArrivals, Scenario, run_scenario
+
+ALGOS = (
+    "rcv",
+    "broadcast",
+    "singhal",
+    "ricart_agrawala",
+    "lamport",
+    "maekawa",
+    "agrawal_elabbadi",
+    "raymond",
+    "naimi_trehel",
+    "centralized",
+)
+
+
+def _measure():
+    rows = []
+    for algo in ALGOS:
+        runs = [
+            run_scenario(
+                Scenario(
+                    algorithm=algo,
+                    n_nodes=25,
+                    arrivals=BurstArrivals(),
+                    seed=seed,
+                )
+            )
+            for seed in range(4)
+        ]
+        rows.append(
+            {
+                "algorithm": algo,
+                "NME": str(summarize(r.nme for r in runs)),
+                "response": str(summarize(r.mean_response_time for r in runs)),
+                "sync": str(summarize(r.mean_sync_delay for r in runs)),
+            }
+        )
+    rows.sort(key=lambda r: float(r["NME"].split("±")[0]))
+    return rows
+
+
+def test_extended_comparison(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    report(render_rows(rows, title="Extended comparison, burst N=25"))
+    by_algo = {r["algorithm"]: r for r in rows}
+    nme = lambda a: float(by_algo[a]["NME"].split("±")[0])
+    # RCV beats the other token-free unstructured algorithms.
+    assert nme("rcv") < nme("ricart_agrawala")
+    assert nme("rcv") < nme("lamport")
+    assert nme("rcv") < nme("maekawa")

@@ -1,0 +1,73 @@
+"""Kernel microbenchmarks — the substrate's own cost.
+
+Per the profiling-first discipline (see DESIGN.md §6): the event heap
+and the Exchange/Order procedures are the simulator's hotspots.
+These benches time them in isolation so regressions in substrate
+performance are visible independently of experiment content, and they
+justify the data-structure choices (plain lists/tuples at N≤50 —
+measured here, not assumed).
+"""
+
+from repro.core.exchange import exchange
+from repro.core.order import run_order
+from repro.core.state import SystemInfo
+from repro.core.tuples import ReqTuple
+from repro.sim.kernel import Simulator
+from repro.workload import BurstArrivals, Scenario, run_scenario
+
+
+def test_event_heap_throughput(benchmark):
+    """Schedule+run 10k chained events."""
+
+    def run_chain():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return sim.events_run
+
+    events = benchmark(run_chain)
+    assert events == 10_001
+
+
+def _busy_si(n=30, competitors=10):
+    si = SystemInfo(n)
+    for i in range(n):
+        si.rows[i].ts = i
+        si.rows[i].mnl = [
+            ReqTuple((i + k) % competitors, 2) for k in range(min(4, competitors))
+        ]
+    return si
+
+
+def test_exchange_cost_at_paper_scale(benchmark):
+    """One Exchange at N=30 with populated tables."""
+    si = _busy_si()
+    msg = _busy_si()
+    msg.rows[7].ts = 99
+    benchmark(lambda: exchange(si.snapshot(), msg, on_inconsistency="count"))
+
+
+def test_order_cost_at_paper_scale(benchmark):
+    si = _busy_si()
+    benchmark(lambda: run_order(si.snapshot(), None, rule="strict"))
+
+
+def test_end_to_end_burst_n30(benchmark):
+    """Whole-scenario cost at the paper's N=30 — the unit of work every
+    figure point repeats."""
+
+    def run():
+        return run_scenario(
+            Scenario(
+                algorithm="rcv", n_nodes=30, arrivals=BurstArrivals(), seed=0
+            )
+        ).completed_count
+
+    assert benchmark(run) == 30

@@ -1,0 +1,57 @@
+"""A-SD — synchronization delay (paper §6.1.2).
+
+The paper's claim: RCV's synchronization delay is exactly one message
+hop (Tn), because the departing node wakes its successor with a
+single EM.  Baselines for contrast: Ricart (Tn), Broadcast (Tn),
+Maekawa (2·Tn — RELEASE to the arbiter, then LOCKED onward).
+
+Measured on a saturated burst so every handoff is contended.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import render_rows
+from repro.metrics import summarize
+from repro.workload import BurstArrivals, Scenario, run_scenario
+
+TN = 5.0
+EXPECTED_HOPS = {
+    "rcv": 1,
+    "broadcast": 1,
+    "ricart_agrawala": 1,
+    "maekawa": 2,
+}
+
+
+def _measure():
+    rows = []
+    for algo, hops in EXPECTED_HOPS.items():
+        runs = [
+            run_scenario(
+                Scenario(
+                    algorithm=algo,
+                    n_nodes=16,
+                    arrivals=BurstArrivals(requests_per_node=3),
+                    seed=seed,
+                )
+            )
+            for seed in (0, 1, 2)
+        ]
+        delays = [d for r in runs for d in r.sync_delays]
+        rows.append(
+            {
+                "algorithm": algo,
+                "sync delay": str(summarize(delays)),
+                "expected": hops * TN,
+                "hops": hops,
+            }
+        )
+    return rows
+
+
+def test_sync_delay_matches_hop_counts(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    report(render_rows(rows, title="Synchronization delay (Tn = 5)"))
+    for row in rows:
+        measured = float(row["sync delay"].split("±")[0])
+        assert measured >= row["expected"] - 1e-6
+        assert measured <= row["expected"] * 1.2, row

@@ -1,0 +1,66 @@
+"""A-TOPO — arbitrary-topology claim (§1).
+
+RCV is non-structured: it should run unchanged when per-pair
+latencies come from a ring, a star, or a random geometric graph, with
+message *counts* unchanged (the protocol is topology-blind) and times
+scaling with the topology's mean latency.  Contrast with Raymond,
+whose logical tree is oblivious to the physical layout — on a ring,
+its tree edges cross the diameter and its nominal 4-message advantage
+pays multi-hop latency per edge.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import render_rows
+from repro.net.delay import MatrixDelay
+from repro.net.topology import Topology
+from repro.workload import BurstArrivals, Scenario, run_scenario
+
+N = 16
+TOPOLOGIES = [
+    ("complete Tn=5 (paper)", lambda: Topology.complete(N, latency=5.0)),
+    ("ring hop=2", lambda: Topology.ring(N, hop_latency=2.0)),
+    ("star spoke=2.5", lambda: Topology.star(N, center=0, spoke_latency=2.5)),
+]
+
+
+def _measure():
+    rows = []
+    for label, make_topo in TOPOLOGIES:
+        topo = make_topo()
+        for algo in ("rcv", "raymond"):
+            runs = [
+                run_scenario(
+                    Scenario(
+                        algorithm=algo,
+                        n_nodes=N,
+                        arrivals=BurstArrivals(),
+                        seed=seed,
+                        delay_model=MatrixDelay(topo),
+                    )
+                )
+                for seed in range(3)
+            ]
+            rows.append(
+                {
+                    "topology": label,
+                    "algorithm": algo,
+                    "mean latency": round(topo.mean_offdiagonal(), 2),
+                    "NME": round(
+                        sum(r.nme for r in runs) / len(runs), 2
+                    ),
+                    "response": round(
+                        sum(r.mean_response_time for r in runs) / len(runs), 1
+                    ),
+                }
+            )
+    return rows
+
+
+def test_topology_independence(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    report(
+        render_rows(rows, title=f"Arbitrary-topology behaviour (burst, N={N})")
+    )
+    rcv_nmes = [r["NME"] for r in rows if r["algorithm"] == "rcv"]
+    # topology-blind message counts: spread under 20% of the mean
+    assert max(rcv_nmes) - min(rcv_nmes) < 0.2 * (sum(rcv_nmes) / len(rcv_nmes))

@@ -1,0 +1,28 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*`` file regenerates one paper artifact (figure or
+analytical table).  pytest-benchmark measures wall time of the
+regeneration; the *scientific* output — the same rows/series the
+paper reports — is printed at the end of the run via the collected
+``REPORTS`` so that ``pytest benchmarks/ --benchmark-only`` leaves a
+complete paper-vs-measured record in the log (tee'd into
+``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Queue a rendered table for the end-of-session summary."""
+    REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper artifacts")
+    for text in REPORTS:
+        terminalreporter.write_line(text)
+        terminalreporter.write_line("")

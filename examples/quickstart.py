@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: simulate RCV mutual exclusion and read the metrics.
+
+Runs the paper's burst workload (every node requests the critical
+section at t=0) on a 10-node system with the paper's parameters
+(Tn=5, Tc=10), then prints the three measures the paper evaluates:
+messages per CS (NME), response time, and synchronization delay.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BurstArrivals, Scenario, run_scenario
+
+
+def main() -> None:
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=10,
+        arrivals=BurstArrivals(),  # all nodes request at t=0, once
+        seed=42,
+    )
+    result = run_scenario(scenario)
+
+    print(f"completed CS executions : {result.completed_count}")
+    print(f"messages per CS (NME)   : {result.nme:.2f}")
+    print(f"mean response time      : {result.mean_response_time:.1f}")
+    print(f"mean synchronization    : {result.mean_sync_delay:.1f} "
+          f"(= Tn, the paper's 'minimal' claim)")
+    print()
+    print("per-request detail:")
+    for rec in result.records:
+        print(
+            f"  node {rec.node_id:2d}: requested t={rec.request_time:6.1f}  "
+            f"entered t={rec.grant_time:6.1f}  left t={rec.release_time:6.1f}"
+        )
+    # The run was verified online: the SafetyMonitor raises on any
+    # mutual-exclusion violation, and run_scenario raises if any
+    # request never completed (deadlock/starvation).
+    print("\nsafety + liveness verified during the run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""RCV over real TCP sockets.
+
+Five nodes, each an asyncio TCP endpoint on localhost, coordinate CS
+entry with the same RCV implementation the simulator runs.  Each node
+appends to a shared log file section ordered by the lock — a
+miniature replicated-append scenario.
+
+Run:  python examples/tcp_cluster.py
+"""
+
+import asyncio
+import time
+
+from repro.runtime import TcpCluster
+
+NODES = 5
+ROUNDS = 3
+
+
+async def worker(cluster: TcpCluster, log: list, me: int) -> None:
+    for round_no in range(ROUNDS):
+        async with cluster.lock(me, timeout=30):
+            # Inside the CS: strictly serialized across all nodes.
+            log.append((me, round_no, time.monotonic()))
+            await asyncio.sleep(0.002)
+
+
+async def main() -> None:
+    log: list = []
+    start = time.monotonic()
+    async with TcpCluster(NODES, algorithm="rcv", seed=5) as cluster:
+        await asyncio.gather(*(worker(cluster, log, i) for i in range(NODES)))
+    elapsed = time.monotonic() - start
+
+    print(f"{len(log)} critical sections over TCP in {elapsed:.2f}s")
+    print("entry order (node, round):")
+    for me, round_no, _t in log:
+        print(f"  node {me} round {round_no}")
+    # Serialization check: timestamps strictly increase.
+    times = [t for _, _, t in log]
+    assert times == sorted(times)
+    assert len(log) == NODES * ROUNDS
+    print("strictly serialized — mutual exclusion held over real sockets.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""RCV over non-uniform topologies (the §1 'arbitrary network
+topology' claim).
+
+The algorithm imposes no logical structure, so it runs unchanged when
+per-pair latencies come from a ring, a star, or a random geometric
+graph — messages between distant nodes simply pay their shortest-path
+latency.  Compare the three measures across layouts.
+
+Run:  python examples/topology_latencies.py
+"""
+
+from repro import BurstArrivals, MatrixDelay, Scenario, Topology, run_scenario
+from repro.experiments import render_rows
+
+N = 12
+
+
+def build_topologies():
+    yield "complete (paper, Tn=5)", Topology.complete(N, latency=5.0)
+    yield "ring (hop=2)", Topology.ring(N, hop_latency=2.0)
+    yield "star (spoke=2.5)", Topology.star(N, center=0, spoke_latency=2.5)
+    try:
+        yield "random geometric", Topology.random_geometric(
+            N, radius=0.55, seed=4
+        )
+    except ImportError:  # networkx not installed
+        pass
+
+
+def main() -> None:
+    rows = []
+    for label, topo in build_topologies():
+        result = run_scenario(
+            Scenario(
+                algorithm="rcv",
+                n_nodes=N,
+                arrivals=BurstArrivals(),
+                seed=3,
+                delay_model=MatrixDelay(topo),
+            )
+        )
+        rows.append(
+            {
+                "topology": label,
+                "mean latency": round(topo.mean_offdiagonal(), 2),
+                "NME": round(result.nme, 2),
+                "response": round(result.mean_response_time, 1),
+                "sync delay": round(result.mean_sync_delay, 2),
+            }
+        )
+    print(render_rows(rows, title=f"RCV burst, N={N}, across topologies"))
+    print(
+        "\nMessage *counts* barely move (the protocol is topology-blind);\n"
+        "times scale with the topology's latency — exactly the 'non-\n"
+        "structured algorithm' behaviour the paper claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

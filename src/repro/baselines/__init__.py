@@ -1,0 +1,46 @@
+"""Baseline distributed mutual-exclusion algorithms.
+
+The paper's simulation (§6.2) compares RCV against **Ricart–Agrawala**
+[13], **Broadcast** (Suzuki–Kasami) [17] and **Maekawa** [9]; those
+three are required for Figures 4–7.  The remaining algorithms
+implement the related-work section and the paper's stated future work
+("compare with more existing algorithms"):
+
+========================  ==========================  =====================
+algorithm                 messages per CS              sync delay
+========================  ==========================  =====================
+Ricart–Agrawala [13]      2(N−1)                       Tn
+Lamport [7]               3(N−1)                       Tn
+Suzuki–Kasami [17]        N (0 when token is local)    Tn
+Maekawa [9]               3√N … 5√N                    2Tn
+Centralized coordinator   3 (0 at the coordinator)     2Tn
+Raymond tree [12]         O(log N)                     ≤ Tn·log N
+Naimi–Trehel              O(log N) average             Tn
+Agrawal–El Abbadi [1]     3·⌈log N⌉ … 5·⌈log N⌉        2Tn
+========================  ==========================  =====================
+
+All are :class:`~repro.mutex.base.MutexNode` subclasses and run on
+the same simulator/runtime as RCV.
+"""
+
+from repro.baselines.ricart_agrawala import RicartAgrawalaNode
+from repro.baselines.lamport import LamportNode
+from repro.baselines.singhal import SinghalNode
+from repro.baselines.suzuki_kasami import SuzukiKasamiNode
+from repro.baselines.maekawa import MaekawaNode
+from repro.baselines.centralized import CentralizedNode
+from repro.baselines.raymond import RaymondNode
+from repro.baselines.naimi_trehel import NaimiTrehelNode
+from repro.baselines.agrawal_elabbadi import AgrawalElAbbadiNode
+
+__all__ = [
+    "AgrawalElAbbadiNode",
+    "CentralizedNode",
+    "LamportNode",
+    "MaekawaNode",
+    "NaimiTrehelNode",
+    "RaymondNode",
+    "RicartAgrawalaNode",
+    "SinghalNode",
+    "SuzukiKasamiNode",
+]

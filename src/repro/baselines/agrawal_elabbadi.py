@@ -1,0 +1,36 @@
+"""Agrawal–El Abbadi tree-quorum mutual exclusion [1].
+
+Runs Maekawa's voting protocol over binary-tree quorums: a quorum is
+a root-to-leaf path (⌈log₂(N+1)⌉ nodes), so the uncontended message
+cost is ≈ 3·log N.  As the paper's related-work section notes, with
+all nodes available the root sits in every quorum and the algorithm
+behaves like a centralized arbiter with extra hops; the tree recursion
+(:func:`~repro.quorums.tree.tree_quorum_avoiding`) is what buys fault
+tolerance, exercised in the quorum tests.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.quorum_base import QuorumMutexNode
+from repro.mutex.base import Env, Hooks
+from repro.quorums.tree import tree_quorums
+
+__all__ = ["AgrawalElAbbadiNode"]
+
+
+class AgrawalElAbbadiNode(QuorumMutexNode):
+    """One node of the tree-quorum algorithm."""
+
+    algorithm_name = "agrawal_elabbadi"
+
+    def __init__(
+        self, node_id: int, n_nodes: int, env: Env, hooks: Hooks
+    ) -> None:
+        super().__init__(
+            node_id,
+            n_nodes,
+            env,
+            hooks,
+            tree_quorums(n_nodes),
+            require_self=False,  # a root-to-leaf path need not pass i
+        )

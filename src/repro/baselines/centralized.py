@@ -1,0 +1,106 @@
+"""Centralized coordinator — the trivial lower bound.
+
+Node 0 arbitrates: REQUEST → (queued) GRANT → RELEASE.  3 messages
+per CS for non-coordinator nodes, 0 for the coordinator itself;
+synchronization delay 2·Tn (RELEASE in, GRANT out).  Included as the
+reference point the distributed algorithms are measured against, and
+as the degenerate case the related-work section warns some structured
+schemes collapse into.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.mutex.base import Env, Hooks, MutexNode, NodeState
+from repro.net.message import Message
+
+__all__ = ["CentralizedNode"]
+
+
+class CzRequest(Message):
+    kind = "REQUEST"
+    __slots__ = ()
+
+
+class CzGrant(Message):
+    kind = "GRANT"
+    __slots__ = ()
+
+
+class CzRelease(Message):
+    kind = "RELEASE"
+    __slots__ = ()
+
+
+class CentralizedNode(MutexNode):
+    """Coordinator (node 0) and client roles in one class."""
+
+    algorithm_name = "centralized"
+    COORDINATOR = 0
+
+    def __init__(
+        self, node_id: int, n_nodes: int, env: Env, hooks: Hooks
+    ) -> None:
+        super().__init__(node_id, n_nodes, env, hooks)
+        self._queue: Deque[int] = deque()
+        self._busy_with: Optional[int] = None  # coordinator-side holder
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.node_id == self.COORDINATOR
+
+    # ------------------------------------------------------------------
+    def _do_request(self) -> None:
+        if self.is_coordinator:
+            self._coord_request(self.node_id)
+        else:
+            self.env.send(self.node_id, self.COORDINATOR, CzRequest())
+
+    def _do_release(self) -> None:
+        if self.is_coordinator:
+            self._coord_release(self.node_id)
+        else:
+            self.env.send(self.node_id, self.COORDINATOR, CzRelease())
+
+    # ------------------------------------------------------------------
+    # coordinator logic
+    # ------------------------------------------------------------------
+    def _coord_request(self, origin: int) -> None:
+        if self._busy_with is None:
+            self._busy_with = origin
+            self._grant_to(origin)
+        else:
+            self._queue.append(origin)
+
+    def _coord_release(self, origin: int) -> None:
+        if self._busy_with != origin:
+            raise RuntimeError(
+                f"coordinator saw release from {origin} but holder is "
+                f"{self._busy_with}"
+            )
+        self._busy_with = None
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._busy_with = nxt
+            self._grant_to(nxt)
+
+    def _grant_to(self, origin: int) -> None:
+        if origin == self.node_id:
+            self._grant()
+        else:
+            self.env.send(self.node_id, origin, CzGrant())
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, CzRequest):
+            self._coord_request(src)
+        elif isinstance(message, CzRelease):
+            self._coord_release(src)
+        elif isinstance(message, CzGrant):
+            if self.state is not NodeState.REQUESTING:
+                raise RuntimeError(f"unsolicited grant at node {self.node_id}")
+            self._grant()
+        else:
+            raise TypeError(f"unexpected message {message!r}")

@@ -1,0 +1,333 @@
+"""Command-line interface.
+
+::
+
+    repro-mutex fig4 [--paper-scale] [--seeds K]
+    repro-mutex fig5 ...
+    repro-mutex fig6 ...
+    repro-mutex fig7 ...
+    repro-mutex theory
+    repro-mutex run --algorithm rcv --nodes 20 --workload burst
+    repro-mutex list
+
+``--paper-scale`` restores the paper's full parameters (N up to 50,
+100 000 time-unit horizon) at the cost of minutes of runtime; the
+default is a faster sweep whose curves have the same shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.registry import algorithm_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mutex",
+        description=(
+            "Reproduction of Cao et al. (IPDPS 2004), 'An Efficient "
+            "Distributed Mutual Exclusion Algorithm Based on Relative "
+            "Consensus Voting'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig in ("fig4", "fig5", "fig6", "fig7"):
+        p = sub.add_parser(fig, help=f"regenerate the paper's {fig}")
+        p.add_argument("--seeds", type=int, default=3, help="repeats per point")
+        p.add_argument(
+            "--paper-scale",
+            action="store_true",
+            help="full paper parameters (slower)",
+        )
+        p.add_argument(
+            "--chart",
+            action="store_true",
+            help="render an ASCII line chart instead of the table",
+        )
+        p.add_argument(
+            "--parallel",
+            action="store_true",
+            help="fan simulation cells out over a process pool",
+        )
+        p.add_argument(
+            "--save",
+            metavar="PATH",
+            default=None,
+            help="also write the raw per-run results as JSON",
+        )
+
+    sub.add_parser("theory", help="measured vs closed-form table (§6.1)")
+
+    run_p = sub.add_parser("run", help="run a single scenario")
+    run_p.add_argument("--algorithm", default="rcv", choices=algorithm_names())
+    run_p.add_argument("--nodes", type=int, default=10)
+    run_p.add_argument(
+        "--workload", choices=("burst", "poisson"), default="burst"
+    )
+    run_p.add_argument(
+        "--rate", type=float, default=0.1, help="poisson request rate λ"
+    )
+    run_p.add_argument("--horizon", type=float, default=10_000.0)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--trace", action="store_true", help="print the first 60 trace events"
+    )
+
+    sub.add_parser("list", help="list registered algorithms")
+    return parser
+
+
+def _figure_args(args) -> dict:
+    seeds = tuple(range(args.seeds))
+    if args.paper_scale:
+        return {
+            "burst": dict(n_values=tuple(range(5, 51, 5)), seeds=seeds),
+            "lam": dict(
+                inv_lambdas=tuple(range(1, 31, 1)),
+                seeds=seeds,
+                horizon=100_000.0,
+            ),
+        }
+    return {
+        "burst": dict(n_values=(5, 10, 20, 30, 40, 50), seeds=seeds),
+        "lam": dict(
+            inv_lambdas=(1, 2, 5, 10, 15, 20, 25, 30),
+            seeds=seeds,
+            horizon=20_000.0,
+        ),
+    }
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import (
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        render_figure,
+    )
+    from repro.experiments.figures import DEFAULT_BURST_ALGOS
+
+    params = _figure_args(args)
+    burst, lam = params["burst"], params["lam"]
+
+    shared = None
+    if args.parallel:
+        from repro.experiments.parallel import (
+            parallel_burst_sweep,
+            parallel_lambda_sweep,
+        )
+
+        if args.command in ("fig4", "fig5"):
+            shared = parallel_burst_sweep(
+                burst["n_values"], DEFAULT_BURST_ALGOS, burst["seeds"]
+            )
+        else:
+            algos = (
+                ("rcv", "maekawa")
+                if args.command == "fig6"
+                else DEFAULT_BURST_ALGOS
+            )
+            shared = parallel_lambda_sweep(
+                lam["inv_lambdas"],
+                algos,
+                30,
+                lam["seeds"],
+                lam["horizon"],
+            )
+
+    fig_fn = {
+        "fig4": lambda: figure4(**burst, _shared=shared),
+        "fig5": lambda: figure5(**burst, _shared=shared),
+        "fig6": lambda: figure6(**lam, _shared=shared),
+        "fig7": lambda: figure7(**lam, _shared=shared),
+    }[args.command]
+    fig = fig_fn()
+    if args.chart:
+        from repro.experiments.charts import render_chart
+
+        print(render_chart(fig))
+    else:
+        print(render_figure(fig))
+    if args.save and shared is not None:
+        from repro.metrics.io import save_results
+
+        flat = [r for per_x in shared.values() for runs in per_x.values() for r in runs]
+        save_results(args.save, flat)
+        print(f"(raw results saved to {args.save})")
+    elif args.save:
+        print("(--save requires --parallel; raw runs are not retained otherwise)")
+    return 0
+
+
+def _cmd_theory(_args) -> int:
+    from repro.experiments import render_rows, theory_table
+
+    print(render_rows(theory_table(), title="Measured vs closed-form (§6.1)"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.workload import (
+        BurstArrivals,
+        PoissonArrivals,
+        Scenario,
+        run_scenario,
+    )
+
+    if args.workload == "burst":
+        arrivals = BurstArrivals()
+        scenario = Scenario(
+            algorithm=args.algorithm,
+            n_nodes=args.nodes,
+            arrivals=arrivals,
+            seed=args.seed,
+        )
+    else:
+        scenario = Scenario(
+            algorithm=args.algorithm,
+            n_nodes=args.nodes,
+            arrivals=PoissonArrivals(args.rate),
+            seed=args.seed,
+            issue_deadline=args.horizon,
+            drain_deadline=args.horizon * 3,
+        )
+
+    if args.trace:
+        result = _run_traced(scenario)
+    else:
+        from repro.workload.runner import run_scenario as rs
+
+        result = rs(scenario)
+    row = result.summary_row()
+    for key, value in row.items():
+        print(f"{key:>10}: {value}")
+    if result.extra:
+        print(f"{'extra':>10}: {result.extra}")
+    return 0
+
+
+def _run_traced(scenario):
+    # Inline variant of run_scenario with a TraceRecorder attached;
+    # kept here so the runner stays dependency-free.
+    from repro.workload.runner import run_scenario
+    from repro.trace import TraceRecorder
+
+    holder = {}
+
+    def tapped_network(network, sim, hooks):
+        recorder = TraceRecorder(clock=lambda: sim.now)
+        network.add_tap(recorder.network_tap)
+        recorder.attach_hooks(hooks)
+        holder["recorder"] = recorder
+
+    result = run_scenario_with_tap(scenario, tapped_network)
+    recorder = holder["recorder"]
+    print(recorder.render(limit=60))
+    print(f"... ({len(recorder)} events total)\n")
+    return result
+
+
+def run_scenario_with_tap(scenario, tap):
+    """run_scenario with access to (network, sim, hooks) before start.
+
+    Re-implemented minimally by monkey-wiring the runner's pieces;
+    exposed for the trace example and the CLI.
+    """
+    from repro.metrics.collector import MetricsCollector
+    from repro.metrics.safety import SafetyMonitor
+    from repro.mutex.base import Hooks, SimEnv
+    from repro.net.network import Network
+    from repro.registry import get_algorithm
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.workload.arrivals import TraceArrivals
+    from repro.workload.driver import NodeDriver
+
+    sim = Simulator(max_events=scenario.max_events)
+    rngs = RngRegistry(scenario.seed)
+    network = Network(
+        sim,
+        delay_model=scenario.delay_model,
+        channel=scenario.channel,
+        rng=rngs.stream("net/delay"),
+    )
+    hooks = Hooks()
+    tap(network, sim, hooks)
+    env = SimEnv(sim, network, rngs)
+    collector = MetricsCollector(lambda: sim.now)
+    safety = SafetyMonitor(lambda: sim.now, waiting_probe=collector.has_waiters)
+    safety.attach(hooks)
+    collector.attach(hooks)
+    factory = get_algorithm(scenario.algorithm)
+    nodes = [
+        factory(i, scenario.n_nodes, env, hooks, **scenario.algo_kwargs)
+        for i in range(scenario.n_nodes)
+    ]
+    for node in nodes:
+        network.register(node)
+    for node in nodes:
+        node.start()
+    if isinstance(scenario.arrivals, TraceArrivals):
+        scenario.arrivals.bind_clock(lambda: sim.now)
+    drivers = []
+    for node in nodes:
+        driver = NodeDriver(
+            sim,
+            node,
+            scenario.arrivals,
+            scenario.cs_time,
+            collector,
+            rngs.node_stream("driver", node.node_id),
+            issue_deadline=scenario.issue_deadline,
+        )
+        hooks.subscribe_granted(driver.on_granted)
+        hooks.subscribe_released(driver.on_released)
+        drivers.append(driver)
+    for driver in drivers:
+        driver.start()
+    sim.run(until=scenario.drain_deadline)
+    extra = {}
+    for node in nodes:
+        snap = getattr(node, "counter_snapshot", None)
+        if snap:
+            for k, v in snap().items():
+                extra[k] = extra.get(k, 0) + v
+    return collector.finalize(
+        algorithm=scenario.algorithm,
+        n_nodes=scenario.n_nodes,
+        seed=scenario.seed,
+        horizon=sim.now,
+        network_stats=network.stats,
+        sync_delays=safety.sync_delays,
+        extra=extra,
+    )
+
+
+def _cmd_list(_args) -> int:
+    for name in algorithm_names():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in ("fig4", "fig5", "fig6", "fig7"):
+        return _cmd_figure(args)
+    if args.command == "theory":
+        return _cmd_theory(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Protocol-level invariant failures.
+
+These are *diagnostic* exceptions: they fire when the replicated
+state at a node contradicts one of the paper's lemmas (e.g. two NONLs
+ranking ordered tuples differently — Lemma 7).  Under the default
+``strict`` RCV rule they should never occur; the test suite asserts
+that, and the ``paper``-rule ablation counts rather than raises when
+configured with ``on_inconsistency="count"``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ProtocolInvariantError"]
+
+
+class ProtocolInvariantError(AssertionError):
+    """Replicated RCV state violated a paper lemma."""

@@ -1,0 +1,156 @@
+"""The Exchange procedure (paper §4.3).
+
+Merges an incoming message's snapshot (MONL + MSIT + watermark) into
+the receiving node's SI.  Steps, mirroring the paper's lines with the
+watermark clarification from DESIGN.md §3.1:
+
+1. merge completion watermarks (pointwise max) — this is the robust
+   form of the paper's "outdated tuple" timestamp comparisons (lines
+   1–4 and 15–18): a tuple ``<j,t>`` is outdated iff ``t <= done[j]``;
+2. prune outdated tuples from both NONLs and all MNLs;
+3. merge the ordered lists: after pruning, Lemma 6 guarantees one
+   list contains the other with tops aligned, so the longer list wins
+   (paper lines 5–12); a disagreement is a Lemma 7 violation and is
+   raised or counted per configuration;
+4. per-row NSIT sync (lines 13–22): the row with the larger freshness
+   counter replaces the staler one, then the pruning invariants are
+   re-established (removals of ordered tuples do not bump row
+   counters in the paper, so a fresher row may resurrect a tuple the
+   local node already ordered — normalization removes it again).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.errors import ProtocolInvariantError
+from repro.core.state import SystemInfo
+from repro.core.tuples import ReqTuple
+
+__all__ = ["exchange", "merge_nonl", "is_consistent_order"]
+
+
+def is_consistent_order(a: List[ReqTuple], b: List[ReqTuple]) -> bool:
+    """True when the tuples common to ``a`` and ``b`` appear in the
+    same relative order — the Lemma 7 property."""
+    common = set(a) & set(b)
+    fa = [t for t in a if t in common]
+    fb = [t for t in b if t in common]
+    return fa == fb
+
+
+def merge_nonl(
+    local: List[ReqTuple],
+    remote: List[ReqTuple],
+) -> List[ReqTuple]:
+    """Merge two pruned ordered lists into their union, order kept.
+
+    With Lemma 6 holding, one list is a prefix-extension of the other
+    and the merge is simply "take the longer" (paper lines 5–12).  We
+    implement the general order-preserving union so that a transient
+    divergence repaired under ``on_inconsistency="count"`` still
+    yields a usable list: common tuples keep their (identical)
+    relative order, and tuples unique to one list are interleaved
+    after their latest common predecessor.
+    """
+    if not local:
+        return list(remote)
+    if not remote:
+        return list(local)
+    seen = set()
+    merged: List[ReqTuple] = []
+    ia = ib = 0
+    set_a, set_b = set(local), set(remote)
+    while ia < len(local) or ib < len(remote):
+        if ia < len(local) and (local[ia] in seen):
+            ia += 1
+            continue
+        if ib < len(remote) and (remote[ib] in seen):
+            ib += 1
+            continue
+        if ia >= len(local):
+            merged.append(remote[ib])
+            seen.add(remote[ib])
+            ib += 1
+        elif ib >= len(remote):
+            merged.append(local[ia])
+            seen.add(local[ia])
+            ia += 1
+        elif local[ia] == remote[ib]:
+            merged.append(local[ia])
+            seen.add(local[ia])
+            ia += 1
+            ib += 1
+        elif local[ia] not in set_b:
+            merged.append(local[ia])
+            seen.add(local[ia])
+            ia += 1
+        elif remote[ib] not in set_a:
+            merged.append(remote[ib])
+            seen.add(remote[ib])
+            ib += 1
+        else:
+            # Both heads are common tuples but disagree — genuine
+            # order conflict; prefer the longer list's head.
+            source = local if len(local) >= len(remote) else remote
+            idx = ia if source is local else ib
+            merged.append(source[idx])
+            seen.add(source[idx])
+            if source is local:
+                ia += 1
+            else:
+                ib += 1
+    return merged
+
+
+class ExchangeStats:
+    """Mutable counters a node threads through its exchanges."""
+
+    __slots__ = ("inconsistencies",)
+
+    def __init__(self) -> None:
+        self.inconsistencies = 0
+
+
+def exchange(
+    si: SystemInfo,
+    msg_si: SystemInfo,
+    *,
+    on_inconsistency: str = "raise",
+    stats: ExchangeStats | None = None,
+) -> None:
+    """Merge ``msg_si`` (a message snapshot) into ``si`` in place.
+
+    ``msg_si`` is treated as read-only: messages may be observed by
+    taps/tests after delivery, so the snapshot is never mutated.
+    """
+    # 1. watermarks
+    si.merge_done(msg_si.done)
+
+    # 2. prune outdated state on the local side; view the remote side
+    #    through the merged watermark without mutating it.
+    si.prune_done()
+    done = si.done
+    remote_nonl = [t for t in msg_si.nonl if t.ts > done[t.node]]
+
+    # 3. ordered-list merge (Lemma 6/7)
+    if not is_consistent_order(si.nonl, remote_nonl):
+        if on_inconsistency == "raise":
+            raise ProtocolInvariantError(
+                f"NONLs disagree on order: local={si.nonl} "
+                f"remote={remote_nonl}"
+            )
+        if stats is not None:
+            stats.inconsistencies += 1
+    si.nonl = merge_nonl(si.nonl, remote_nonl)
+
+    # 4. per-row freshness sync
+    for j in range(si.n):
+        local_row = si.rows[j]
+        remote_row = msg_si.rows[j]
+        if remote_row.ts > local_row.ts:
+            si.rows[j] = remote_row.clone()
+
+    # Re-establish pruning invariants: fresher rows may carry tuples
+    # we already ordered or know finished.
+    si.normalize()

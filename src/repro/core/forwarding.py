@@ -1,0 +1,112 @@
+"""RM forwarding policies.
+
+The paper forwards a still-undecided RM to a *random* unvisited node
+(MPM line 12 / line 51) and names "different methods for forwarding
+the request messages" as future work (§7).  We implement that future
+work as pluggable policies and ablate them in
+``benchmarks/bench_ablation_forwarding.py``:
+
+* ``random`` — the paper's policy;
+* ``sequential`` — lowest unvisited id first (deterministic; useful
+  for reproducible traces and as a worst-case adversary for the
+  random analysis);
+* ``least_informed`` — the unvisited node about which the carried
+  snapshot has the *stalest* row: visiting it maximizes information
+  gained per hop;
+* ``most_informed`` — freshest row first: the message seeks nodes
+  already rich in votes, converging faster under heavy load at the
+  cost of spreading less information.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Type
+
+from repro.core.state import SystemInfo
+
+__all__ = [
+    "ForwardingPolicy",
+    "RandomPolicy",
+    "SequentialPolicy",
+    "LeastInformedPolicy",
+    "MostInformedPolicy",
+    "make_policy",
+    "POLICIES",
+]
+
+
+class ForwardingPolicy(ABC):
+    """Chooses the next hop for an undecided RM."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def choose(
+        self,
+        unvisited: FrozenSet[int],
+        si: SystemInfo,
+        rng: random.Random,
+    ) -> int:
+        """Return the next destination from ``unvisited`` (non-empty)."""
+
+
+class RandomPolicy(ForwardingPolicy):
+    """Uniformly random unvisited node — the paper's rule."""
+
+    name = "random"
+
+    def choose(self, unvisited, si, rng) -> int:
+        # sorted() gives a stable population so that the draw depends
+        # only on the rng stream, not set iteration order.
+        return rng.choice(sorted(unvisited))
+
+
+class SequentialPolicy(ForwardingPolicy):
+    """Deterministic: smallest unvisited id."""
+
+    name = "sequential"
+
+    def choose(self, unvisited, si, rng) -> int:
+        return min(unvisited)
+
+
+class LeastInformedPolicy(ForwardingPolicy):
+    """Visit the node whose NSIT row is stalest (smallest ts)."""
+
+    name = "least_informed"
+
+    def choose(self, unvisited, si, rng) -> int:
+        return min(unvisited, key=lambda j: (si.rows[j].ts, j))
+
+
+class MostInformedPolicy(ForwardingPolicy):
+    """Visit the node whose NSIT row is freshest (largest ts)."""
+
+    name = "most_informed"
+
+    def choose(self, unvisited, si, rng) -> int:
+        return min(unvisited, key=lambda j: (-si.rows[j].ts, j))
+
+
+POLICIES: Dict[str, Type[ForwardingPolicy]] = {
+    cls.name: cls
+    for cls in (
+        RandomPolicy,
+        SequentialPolicy,
+        LeastInformedPolicy,
+        MostInformedPolicy,
+    )
+}
+
+
+def make_policy(name: str) -> ForwardingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown forwarding policy {name!r}; "
+            f"choices: {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,127 @@
+"""The three RCV message types (paper §3, Figure 3).
+
+* :class:`RequestMessage` (RM) — roams the network on behalf of its
+  *home* node; carries the home's request tuple, the list of not yet
+  visited nodes (``UL``), and a snapshot of the sender's system
+  information (``MONL`` + ``MSIT`` + the completion watermark).
+* :class:`EnterMessage` (EM) — grants the CS to its destination;
+  carries a snapshot (no UL/Host).
+* :class:`InformMessage` (IM) — tells a predecessor who enters the CS
+  after it (field ``Next``); carries a snapshot.
+
+Snapshots are deep copies taken at send time
+(:meth:`~repro.core.state.SystemInfo.snapshot`), so in-flight
+messages are immune to sender-side mutation — required for a
+simulator that passes references.
+
+``size_units`` reflects the O(N) payload of snapshot-carrying
+messages (1 + number of carried tuples), enabling the
+bandwidth-weighted ablation; the default NME metric counts messages,
+matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.core.state import SystemInfo
+from repro.core.tuples import ReqTuple
+from repro.net.message import Message
+
+__all__ = ["RequestMessage", "EnterMessage", "InformMessage"]
+
+
+class _SnapshotMessage(Message):
+    """Common carrier of an SI snapshot."""
+
+    __slots__ = ("si",)
+
+    def __init__(self, si: SystemInfo) -> None:
+        super().__init__()
+        self.si = si
+
+    def size_units(self) -> int:
+        carried = len(self.si.nonl) + sum(
+            len(row.mnl) for row in self.si.rows
+        )
+        return 1 + carried
+
+
+class RequestMessage(_SnapshotMessage):
+    """RM — the roaming request (paper Fig. 3).
+
+    ``home`` is the requesting node (the paper's *Host*), ``tup`` its
+    request tuple, ``unvisited`` the ids the message may still be
+    forwarded to, and ``hops`` the number of forwards so far (metrics
+    only).
+    """
+
+    kind = "RM"
+
+    __slots__ = ("home", "tup", "unvisited", "hops")
+
+    def __init__(
+        self,
+        home: int,
+        tup: ReqTuple,
+        unvisited: FrozenSet[int],
+        si: SystemInfo,
+        hops: int = 0,
+    ) -> None:
+        super().__init__(si)
+        self.home = home
+        self.tup = tup
+        self.unvisited = frozenset(unvisited)
+        self.hops = hops
+
+    def describe(self) -> str:
+        return (
+            f"RM#{self.msg_id}(home={self.home}, tup={self.tup.describe()}, "
+            f"hops={self.hops}, |UL|={len(self.unvisited)})"
+        )
+
+
+class EnterMessage(_SnapshotMessage):
+    """EM — wakes the next node to enter the CS."""
+
+    kind = "EM"
+
+    __slots__ = ("target_tup",)
+
+    def __init__(self, target_tup: ReqTuple, si: SystemInfo) -> None:
+        super().__init__(si)
+        self.target_tup = target_tup
+
+    def describe(self) -> str:
+        return f"EM#{self.msg_id}(target={self.target_tup.describe()})"
+
+
+class InformMessage(_SnapshotMessage):
+    """IM — tells its destination who its successor is.
+
+    ``pred_tup`` is the destination's request (the tuple immediately
+    preceding the successor in the NONL); ``next_node``/``next_tup``
+    identify the successor that must receive an EM when the
+    destination leaves the CS.
+    """
+
+    kind = "IM"
+
+    __slots__ = ("pred_tup", "next_node", "next_tup")
+
+    def __init__(
+        self,
+        pred_tup: ReqTuple,
+        next_tup: ReqTuple,
+        si: SystemInfo,
+    ) -> None:
+        super().__init__(si)
+        self.pred_tup = pred_tup
+        self.next_tup = next_tup
+        self.next_node = next_tup.node
+
+    def describe(self) -> str:
+        return (
+            f"IM#{self.msg_id}(pred={self.pred_tup.describe()}, "
+            f"next={self.next_tup.describe()})"
+        )

@@ -1,0 +1,190 @@
+"""System Information (SI) — the replicated state each node maintains.
+
+Paper §3, Figure 2.  Per node:
+
+* ``Next`` — who enters the CS immediately after this node (set by an
+  Inform Message);
+* ``NONL`` — Node Ordered Node List: the sequence of requests whose
+  order to enter the CS has been decided;
+* ``NSIT`` — Node System Information Table: one :class:`Row` per node
+  ``j`` holding a freshness counter ``ts`` and ``MNL`` — the list of
+  request tuples known to have been received at ``j``, in arrival
+  order.  The *front* of an MNL is node ``j``'s "vote" in the RCV
+  tally.
+
+Clarified mechanism (DESIGN.md §3.1): ``done`` is a per-node
+completion watermark — ``done[j]`` is the largest timestamp of a
+request by ``j`` known to have *finished* the CS.  A tuple
+``<j, t>`` with ``t <= done[j]`` is outdated everywhere and pruned.
+The watermark is merged pointwise-max on every exchange, making
+outdated-tuple detection order-insensitive (the paper reconstructs
+the same information from TS comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.tuples import ReqTuple
+
+__all__ = ["Row", "SystemInfo"]
+
+
+@dataclass
+class Row:
+    """One NSIT row: what we know about requests received at a node."""
+
+    ts: int = 0
+    mnl: List[ReqTuple] = field(default_factory=list)
+
+    def clone(self) -> "Row":
+        return Row(ts=self.ts, mnl=list(self.mnl))
+
+    def front(self) -> Optional[ReqTuple]:
+        """This row's vote: the oldest pending request it received."""
+        return self.mnl[0] if self.mnl else None
+
+    def append_unique(self, t: ReqTuple) -> bool:
+        """Append ``t`` if absent; returns True when appended.
+
+        A node never holds two tuples for the same request (Lemma 1);
+        duplicates can arrive via message merging and are dropped.
+        """
+        if t in self.mnl:
+            return False
+        self.mnl.append(t)
+        return True
+
+    def remove(self, t: ReqTuple) -> None:
+        try:
+            self.mnl.remove(t)
+        except ValueError:
+            pass
+
+
+class SystemInfo:
+    """The SI structure of one node (or the snapshot inside a message)."""
+
+    __slots__ = ("n", "nonl", "rows", "done", "next_node")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.nonl: List[ReqTuple] = []
+        self.rows: List[Row] = [Row() for _ in range(n)]
+        self.done: List[int] = [0] * n
+        self.next_node: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # snapshots (messages carry copies, never shared references)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "SystemInfo":
+        """Deep copy of the shareable parts (Next stays local)."""
+        si = SystemInfo(self.n)
+        si.nonl = list(self.nonl)
+        si.rows = [row.clone() for row in self.rows]
+        si.done = list(self.done)
+        return si
+
+    # ------------------------------------------------------------------
+    # watermark and pruning
+    # ------------------------------------------------------------------
+    def is_done(self, t: ReqTuple) -> bool:
+        return t.ts <= self.done[t.node]
+
+    def mark_done(self, t: ReqTuple) -> None:
+        if t.ts > self.done[t.node]:
+            self.done[t.node] = t.ts
+
+    def merge_done(self, other_done: Iterable[int]) -> None:
+        for j, ts in enumerate(other_done):
+            if ts > self.done[j]:
+                self.done[j] = ts
+
+    def prune_done(self) -> None:
+        """Drop finished requests from NONL and every MNL."""
+        done = self.done
+        self.nonl = [t for t in self.nonl if t.ts > done[t.node]]
+        for row in self.rows:
+            if any(t.ts <= done[t.node] for t in row.mnl):
+                row.mnl = [t for t in row.mnl if t.ts > done[t.node]]
+
+    def remove_everywhere(self, t: ReqTuple) -> None:
+        """Delete ``t`` from all MNLs (paper: 'from any row of NSIT')."""
+        for row in self.rows:
+            row.remove(t)
+
+    def prune_ordered_from_rows(self) -> None:
+        """Remove every NONL member from every MNL.
+
+        Ordered tuples no longer compete in the vote (Order lines
+        14–15); after merging remote rows this re-establishes that.
+        """
+        if not self.nonl:
+            return
+        ordered = set(self.nonl)
+        for row in self.rows:
+            if any(t in ordered for t in row.mnl):
+                row.mnl = [t for t in row.mnl if t not in ordered]
+
+    def normalize(self) -> None:
+        """Restore both pruning invariants after any merge."""
+        self.prune_done()
+        self.prune_ordered_from_rows()
+
+    # ------------------------------------------------------------------
+    # vote tallying (input to the Order procedure)
+    # ------------------------------------------------------------------
+    def tally_votes(self, excluded: frozenset = frozenset()) -> Dict[ReqTuple, int]:
+        """Map each candidate tuple to the number of MNLs it fronts.
+
+        Rows of ``excluded`` (crashed) nodes do not vote: their fronts
+        can never change, so counting them could wedge the election.
+        """
+        votes: Dict[ReqTuple, int] = {}
+        for j, row in enumerate(self.rows):
+            if j in excluded:
+                continue
+            f = row.front()
+            if f is not None:
+                votes[f] = votes.get(f, 0) + 1
+        return votes
+
+    def empty_row_count(self, excluded: frozenset = frozenset()) -> int:
+        """Rows with no known pending request — the 'unknown votes'.
+
+        Excluded rows are not unknown: the membership agreement says
+        they will never vote, so the threshold closes without them.
+        """
+        return sum(
+            1
+            for j, row in enumerate(self.rows)
+            if j not in excluded and not row.mnl
+        )
+
+    # ------------------------------------------------------------------
+    # NONL queries
+    # ------------------------------------------------------------------
+    def position_in_nonl(self, t: ReqTuple) -> Optional[int]:
+        try:
+            return self.nonl.index(t)
+        except ValueError:
+            return None
+
+    def predecessor_of(self, t: ReqTuple) -> Optional[ReqTuple]:
+        """Immediate predecessor of ``t`` in the NONL, if any."""
+        pos = self.position_in_nonl(t)
+        if pos is None or pos == 0:
+            return None
+        return self.nonl[pos - 1]
+
+    def on_top(self, t: ReqTuple) -> bool:
+        return bool(self.nonl) and self.nonl[0] == t
+
+    # ------------------------------------------------------------------
+    def max_row_ts(self) -> int:
+        return max(row.ts for row in self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        nonl = ",".join(t.describe() for t in self.nonl)
+        return f"SystemInfo(nonl=[{nonl}], done={self.done})"

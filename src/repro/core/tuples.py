@@ -1,0 +1,25 @@
+"""Request tuples ``<NodeID, TS>`` (paper §3).
+
+A tuple identifies one CS request: the requesting node's id and the
+logical timestamp at which the request was initialized.  Per-node
+timestamps are strictly monotone (bumped on request, on release, and
+on every RM receipt — paper lines 4, 18, 36 of the MPM algorithm), so
+``(node, ts)`` uniquely identifies a request and a node's successive
+requests have increasing ``ts``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["ReqTuple"]
+
+
+class ReqTuple(NamedTuple):
+    """One critical-section request."""
+
+    node: int
+    ts: int
+
+    def describe(self) -> str:
+        return f"<{self.node},{self.ts}>"

@@ -1,0 +1,49 @@
+"""Experiment harness: one entry point per paper figure.
+
+Each ``figureN`` function sweeps the paper's parameter, repeats over
+seeds, and returns a :class:`~repro.experiments.figures.FigureData`
+holding per-point :class:`~repro.metrics.summary.Summary` values; the
+``render`` helpers print the same series the paper plots.  The
+benchmark harness (``benchmarks/``) and the CLI both call these.
+"""
+
+from repro.experiments.campaign import Campaign, CampaignResult, comparison_campaign
+from repro.experiments.charts import render_chart
+from repro.experiments.figures import (
+    FigureData,
+    burst_sweep,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    lambda_sweep,
+    theory_table,
+)
+from repro.experiments.parallel import (
+    CellSpec,
+    parallel_burst_sweep,
+    parallel_lambda_sweep,
+    run_cells,
+)
+from repro.experiments.tables import render_figure, render_rows
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CellSpec",
+    "FigureData",
+    "burst_sweep",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "comparison_campaign",
+    "lambda_sweep",
+    "parallel_burst_sweep",
+    "parallel_lambda_sweep",
+    "render_chart",
+    "run_cells",
+    "render_figure",
+    "render_rows",
+    "theory_table",
+]

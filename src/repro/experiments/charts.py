@@ -1,0 +1,80 @@
+"""Plain-text line charts for figure data.
+
+The paper's figures are line plots; ``render_chart`` draws a
+:class:`~repro.experiments.figures.FigureData` as a monospace chart so
+``python -m repro.cli fig4 --chart`` visually matches the paper
+without a plotting dependency.  One glyph per series, points mapped
+onto a character grid, a legend below.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, round(frac * (cells - 1))))
+
+
+def render_chart(
+    fig,
+    *,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render ``fig`` (a FigureData) as an ASCII line chart."""
+    points: List[tuple[str, float, float]] = []  # (series, x, y)
+    for name, values in fig.series.items():
+        for x, summary in zip(fig.x, values):
+            if summary.n > 0 and summary.mean == summary.mean:  # not NaN
+                points.append((name, float(x), summary.mean))
+    if not points:
+        return f"{fig.figure}: (no data)"
+
+    xs = [p[1] for p in points]
+    ys = [p[2] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:  # flat chart: pad so the line sits mid-plot
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    series_names = list(fig.series)
+    for name, x, y in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        glyph = _GLYPHS[series_names.index(name) % len(_GLYPHS)]
+        cell = grid[row][col]
+        # Overlapping series: mark the collision so it is visible.
+        grid[row][col] = glyph if cell == " " else "?"
+
+    y_labels = [f"{y_hi:>8.1f}", f"{(y_lo + y_hi) / 2:>8.1f}", f"{y_lo:>8.1f}"]
+    lines = [f"{fig.figure}: {fig.y_label} vs {fig.x_label}"]
+    for r in range(height):
+        label = ""
+        if r == 0:
+            label = y_labels[0]
+        elif r == height // 2:
+            label = y_labels[1]
+        elif r == height - 1:
+            label = y_labels[2]
+        lines.append(f"{label:>8} |" + "".join(grid[r]))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"{x_lo:<.6g}".ljust(width // 2)
+        + f"{x_hi:>.6g}".rjust(width // 2)
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series_names)
+    )
+    lines.append(f"{'':9}{legend}   (? = overlap)")
+    return "\n".join(lines)

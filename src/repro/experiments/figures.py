@@ -1,0 +1,272 @@
+"""Regeneration of the paper's Figures 4–7 and the §6.1 table.
+
+The paper's settings (§6.2): constant propagation delay Tn = 5,
+constant CS time Tc = 10, reliable non-FIFO network.
+
+* Figures 4–5 — the burst workload: all N nodes request at t=0, once
+  each, for N = 5..50; Figure 4 plots messages per CS (NME), Figure 5
+  response time.  Algorithms: RCV, Maekawa, Ricart–Agrawala,
+  Broadcast (Suzuki–Kasami).
+* Figures 6–7 — N = 30 with Poisson arrivals, sweeping the mean
+  inter-arrival time 1/λ; Figure 6 plots NME (RCV vs Maekawa),
+  Figure 7 response time (all four).
+
+The paper runs 100 000 time units; the default here is 20 000 (the
+curves are statistically indistinguishable — see EXPERIMENTS.md),
+with ``horizon`` exposed so the CLI's ``--paper-scale`` flag restores
+the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.records import RunResult
+from repro.metrics.summary import Summary, summarize
+from repro.workload.arrivals import BurstArrivals, PoissonArrivals
+from repro.workload.runner import run_scenario
+from repro.workload.scenario import Scenario, constant_cs_time
+
+__all__ = [
+    "FigureData",
+    "burst_sweep",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "lambda_sweep",
+    "theory_table",
+    "DEFAULT_BURST_ALGOS",
+]
+
+#: the four algorithms of Figures 4, 5 and 7 (paper names)
+DEFAULT_BURST_ALGOS: Tuple[str, ...] = (
+    "rcv",
+    "maekawa",
+    "ricart_agrawala",
+    "broadcast",
+)
+
+TN = 5.0
+TC = 10.0
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: named series over a shared x axis."""
+
+    figure: str
+    x_label: str
+    y_label: str
+    x: List[float]
+    series: Dict[str, List[Summary]] = field(default_factory=dict)
+
+    def as_rows(self) -> List[dict]:
+        rows = []
+        for i, xv in enumerate(self.x):
+            row = {self.x_label: xv}
+            for name, values in self.series.items():
+                row[name] = str(values[i])
+            rows.append(row)
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 4 & 5: burst workload, sweep N
+# ----------------------------------------------------------------------
+def burst_sweep(
+    n_values: Sequence[int] = tuple(range(5, 51, 5)),
+    algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
+    seeds: Sequence[int] = tuple(range(5)),
+) -> Dict[str, Dict[int, List[RunResult]]]:
+    """Run the Figure 4/5 workload; returns results[algo][n] = runs."""
+    out: Dict[str, Dict[int, List[RunResult]]] = {}
+    for algo in algorithms:
+        per_n: Dict[int, List[RunResult]] = {}
+        for n in n_values:
+            runs = []
+            for seed in seeds:
+                scenario = Scenario(
+                    algorithm=algo,
+                    n_nodes=n,
+                    arrivals=BurstArrivals(),
+                    seed=seed,
+                    cs_time=constant_cs_time(TC),
+                )
+                runs.append(run_scenario(scenario))
+            per_n[n] = runs
+        out[algo] = per_n
+    return out
+
+
+def _reduce(
+    results: Dict[str, Dict[int, List[RunResult]]],
+    metric: str,
+) -> Dict[str, List[Summary]]:
+    series: Dict[str, List[Summary]] = {}
+    for algo, per_x in results.items():
+        series[algo] = [
+            summarize(getattr(r, metric) for r in runs)
+            for runs in per_x.values()
+        ]
+    return series
+
+
+def figure4(
+    n_values: Sequence[int] = tuple(range(5, 51, 5)),
+    algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
+    seeds: Sequence[int] = tuple(range(5)),
+    *,
+    _shared: Optional[Dict] = None,
+) -> FigureData:
+    """Figure 4: average NME vs node count under the burst workload."""
+    results = _shared if _shared is not None else burst_sweep(
+        n_values, algorithms, seeds
+    )
+    return FigureData(
+        figure="Figure 4",
+        x_label="N",
+        y_label="messages per CS (NME)",
+        x=list(n_values),
+        series=_reduce(results, "nme"),
+    )
+
+
+def figure5(
+    n_values: Sequence[int] = tuple(range(5, 51, 5)),
+    algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
+    seeds: Sequence[int] = tuple(range(5)),
+    *,
+    _shared: Optional[Dict] = None,
+) -> FigureData:
+    """Figure 5: average response time vs node count (burst)."""
+    results = _shared if _shared is not None else burst_sweep(
+        n_values, algorithms, seeds
+    )
+    return FigureData(
+        figure="Figure 5",
+        x_label="N",
+        y_label="response time",
+        x=list(n_values),
+        series=_reduce(results, "mean_response_time"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6 & 7: Poisson workload at N=30, sweep 1/λ
+# ----------------------------------------------------------------------
+def lambda_sweep(
+    inv_lambdas: Sequence[float] = (1, 2, 5, 10, 15, 20, 25, 30),
+    algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
+    n_nodes: int = 30,
+    seeds: Sequence[int] = tuple(range(3)),
+    horizon: float = 20_000.0,
+) -> Dict[str, Dict[float, List[RunResult]]]:
+    """Run the Figure 6/7 workload; results[algo][1/λ] = runs.
+
+    Requests stop arriving at ``horizon``; in-flight requests drain
+    (bounded at 3× horizon as a liveness backstop).
+    """
+    out: Dict[str, Dict[float, List[RunResult]]] = {}
+    for algo in algorithms:
+        per_x: Dict[float, List[RunResult]] = {}
+        for inv_lambda in inv_lambdas:
+            runs = []
+            for seed in seeds:
+                scenario = Scenario(
+                    algorithm=algo,
+                    n_nodes=n_nodes,
+                    arrivals=PoissonArrivals.from_mean_interarrival(
+                        float(inv_lambda)
+                    ),
+                    seed=seed,
+                    cs_time=constant_cs_time(TC),
+                    issue_deadline=horizon,
+                    drain_deadline=horizon * 3,
+                )
+                runs.append(run_scenario(scenario))
+            per_x[float(inv_lambda)] = runs
+        out[algo] = per_x
+    return out
+
+
+def figure6(
+    inv_lambdas: Sequence[float] = (1, 2, 5, 10, 15, 20, 25, 30),
+    algorithms: Sequence[str] = ("rcv", "maekawa"),
+    n_nodes: int = 30,
+    seeds: Sequence[int] = tuple(range(3)),
+    horizon: float = 20_000.0,
+    *,
+    _shared: Optional[Dict] = None,
+) -> FigureData:
+    """Figure 6: NME vs 1/λ at N=30 (RCV vs Maekawa)."""
+    results = _shared if _shared is not None else lambda_sweep(
+        inv_lambdas, algorithms, n_nodes, seeds, horizon
+    )
+    return FigureData(
+        figure="Figure 6",
+        x_label="1/lambda",
+        y_label="messages per CS (NME)",
+        x=[float(v) for v in inv_lambdas],
+        series=_reduce(results, "nme"),
+    )
+
+
+def figure7(
+    inv_lambdas: Sequence[float] = (1, 2, 5, 10, 15, 20, 25, 30),
+    algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
+    n_nodes: int = 30,
+    seeds: Sequence[int] = tuple(range(3)),
+    horizon: float = 20_000.0,
+    *,
+    _shared: Optional[Dict] = None,
+) -> FigureData:
+    """Figure 7: response time vs 1/λ at N=30 (all four)."""
+    results = _shared if _shared is not None else lambda_sweep(
+        inv_lambdas, algorithms, n_nodes, seeds, horizon
+    )
+    return FigureData(
+        figure="Figure 7",
+        x_label="1/lambda",
+        y_label="response time",
+        x=[float(v) for v in inv_lambdas],
+        series=_reduce(results, "mean_response_time"),
+    )
+
+
+# ----------------------------------------------------------------------
+# §6.1 analytical table
+# ----------------------------------------------------------------------
+def theory_table(
+    n_values: Sequence[int] = (9, 16, 25, 36, 49),
+    algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
+    seeds: Sequence[int] = tuple(range(3)),
+) -> List[dict]:
+    """Measured heavy-load metrics vs the §6.1/related-work model."""
+    from repro.analysis.validate import compare_to_theory
+
+    rows: List[dict] = []
+    for algo in algorithms:
+        for n in n_values:
+            runs = [
+                run_scenario(
+                    Scenario(
+                        algorithm=algo,
+                        n_nodes=n,
+                        arrivals=BurstArrivals(requests_per_node=3),
+                        seed=seed,
+                        cs_time=constant_cs_time(TC),
+                    )
+                )
+                for seed in seeds
+            ]
+            # Compare the seed-averaged run to the model.
+            merged = runs[0]
+            nme = summarize(r.nme for r in runs).mean
+            sync = summarize(r.mean_sync_delay for r in runs).mean
+            comparison = compare_to_theory(merged, tn=TN)
+            comparison.measured_nme = nme
+            comparison.measured_sync = sync
+            rows.append(comparison.row())
+    return rows

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+No plotting dependency: the paper's figures are reproduced as aligned
+text tables (one row per x value, one column per algorithm), which is
+what the benches print and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["render_rows", "render_figure"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "NO"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_rows(rows: Sequence[Mapping], *, title: str = "") -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_figure(fig) -> str:
+    """Render a :class:`~repro.experiments.figures.FigureData`."""
+    title = f"{fig.figure}: {fig.y_label} vs {fig.x_label}"
+    return render_rows(fig.as_rows(), title=title)

@@ -1,0 +1,39 @@
+"""Measurement and runtime verification.
+
+Implements the paper's three performance measures (§1):
+
+* **message complexity (NME)** — messages exchanged per CS execution,
+  computed from :class:`~repro.net.network.NetworkStats` and the
+  completed-CS count;
+* **response time (RT)** — from request issue to CS *exit* (the paper:
+  "the time interval a request waits for its CS execution to be over
+  after its request messages have been sent out");
+* **synchronization delay** — gap between one node leaving the CS and
+  the next node entering it.
+
+Plus the correctness monitors backing Theorems 1–3:
+
+* :class:`~repro.metrics.safety.SafetyMonitor` raises the moment two
+  nodes overlap in the CS (Theorem 1, mutual exclusion);
+* liveness is checked at scenario end: every issued request was
+  granted (Theorems 2–3, deadlock/starvation freedom, within the
+  simulated horizon).
+"""
+
+from repro.metrics.io import load_results, save_results
+from repro.metrics.records import CsRecord, RunResult
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.safety import MutualExclusionViolation, SafetyMonitor
+from repro.metrics.summary import Summary, summarize
+
+__all__ = [
+    "CsRecord",
+    "MetricsCollector",
+    "MutualExclusionViolation",
+    "RunResult",
+    "SafetyMonitor",
+    "load_results",
+    "save_results",
+    "Summary",
+    "summarize",
+]

@@ -1,0 +1,83 @@
+"""Binds hooks + network stats into per-request records."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.records import CsRecord, RunResult
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Builds :class:`CsRecord` entries from driver/hook callbacks.
+
+    The workload driver calls :meth:`on_requested`; grant/release
+    arrive via the algorithm hooks.  Because each node has at most one
+    outstanding request, the open record per node is unique.
+    """
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._open: Dict[int, CsRecord] = {}
+        self.records: List[CsRecord] = []
+
+    def attach(self, hooks) -> None:
+        hooks.subscribe_granted(self.on_granted)
+        hooks.subscribe_released(self.on_released)
+
+    # ------------------------------------------------------------------
+    def on_requested(self, node_id: int) -> None:
+        if node_id in self._open:
+            raise RuntimeError(
+                f"node {node_id} issued a request while one is open"
+            )
+        rec = CsRecord(node_id=node_id, request_time=self._clock())
+        self._open[node_id] = rec
+        self.records.append(rec)
+
+    def on_granted(self, node_id: int) -> None:
+        rec = self._open.get(node_id)
+        if rec is None:
+            raise RuntimeError(f"grant for node {node_id} without a request")
+        rec.grant_time = self._clock()
+
+    def on_released(self, node_id: int) -> None:
+        rec = self._open.pop(node_id, None)
+        if rec is None:
+            raise RuntimeError(f"release for node {node_id} without a grant")
+        rec.release_time = self._clock()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Requests issued but not yet completed."""
+        return len(self._open)
+
+    def has_waiters(self) -> bool:
+        """True if any request is granted-pending (used for sync delay)."""
+        return any(r.grant_time is None for r in self._open.values())
+
+    def finalize(
+        self,
+        *,
+        algorithm: str,
+        n_nodes: int,
+        seed: int,
+        horizon: float,
+        network_stats,
+        sync_delays: Optional[List[float]] = None,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> RunResult:
+        return RunResult(
+            algorithm=algorithm,
+            n_nodes=n_nodes,
+            seed=seed,
+            horizon=horizon,
+            records=list(self.records),
+            messages_total=network_stats.sent_total,
+            messages_by_kind=dict(network_stats.by_kind),
+            weighted_units=network_stats.weighted_units,
+            sync_delays=list(sync_delays or []),
+            extra=dict(extra or {}),
+        )

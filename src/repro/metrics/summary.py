@@ -1,0 +1,60 @@
+"""Aggregation of repeated runs (mean, std, confidence intervals).
+
+Experiments repeat each scenario across seeds; this module reduces a
+list of per-run values to a :class:`Summary` with a normal-theory
+95% confidence interval (scipy's t-quantile when available, 1.96
+otherwise — at our repeat counts the difference is cosmetic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    n: int
+    mean: float
+    std: float
+    ci95: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci95
+
+    def __str__(self) -> str:
+        if math.isnan(self.mean):
+            return "nan"
+        return f"{self.mean:.2f}±{self.ci95:.2f}"
+
+
+def _t_quantile(df: int) -> float:
+    try:
+        from scipy import stats
+
+        return float(stats.t.ppf(0.975, df))
+    except Exception:  # pragma: no cover - scipy always present here
+        return 1.96
+
+
+def summarize(values: Sequence[float] | Iterable[float]) -> Summary:
+    """Reduce values to mean/std/95% CI, ignoring NaNs."""
+    arr = np.asarray([v for v in values if not math.isnan(v)], dtype=float)
+    if arr.size == 0:
+        return Summary(n=0, mean=float("nan"), std=float("nan"), ci95=float("nan"))
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return Summary(n=1, mean=mean, std=0.0, ci95=0.0)
+    std = float(arr.std(ddof=1))
+    ci = _t_quantile(arr.size - 1) * std / math.sqrt(arr.size)
+    return Summary(n=int(arr.size), mean=mean, std=std, ci95=float(ci))

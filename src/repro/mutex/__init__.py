@@ -1,0 +1,22 @@
+"""Common framework for distributed mutual-exclusion algorithms.
+
+Every algorithm in this repository — the paper's RCV algorithm
+(:mod:`repro.core`) and all baselines (:mod:`repro.baselines`) — is a
+subclass of :class:`~repro.mutex.base.MutexNode` written against two
+small interfaces:
+
+* :class:`~repro.mutex.base.Env` — the world the node lives in
+  (``now``, ``send``, ``schedule``, ``rng``); implemented by the
+  discrete-event simulator adapter (:class:`~repro.mutex.base.SimEnv`)
+  and by the asyncio runtime (:mod:`repro.runtime`);
+* :class:`~repro.mutex.base.Hooks` — upcalls to the application
+  (``on_granted``, ``on_released``) that the workload driver and
+  metrics collector subscribe to.
+
+This separation is what lets the same algorithm object run under the
+paper's simulation and in a real asyncio deployment unchanged.
+"""
+
+from repro.mutex.base import Env, Hooks, MutexNode, SimEnv, NodeState
+
+__all__ = ["Env", "Hooks", "MutexNode", "NodeState", "SimEnv"]

@@ -1,0 +1,50 @@
+"""Network substrate: delays, channels, topologies, delivery.
+
+The paper's model (§3, §6.2): N fully connected nodes, reliable
+message passing, no shared memory, constant propagation delay
+``Tn = 5`` time units, with the explicit claim that the algorithm
+tolerates non-FIFO delivery.  This package provides that model and
+the knobs to stress it:
+
+* :mod:`~repro.net.delay` — delay models (constant, uniform,
+  exponential-jitter) drawn from seeded streams;
+* :mod:`~repro.net.channels` — per-pair channel discipline
+  (``fifo`` enforces in-order delivery on top of any delay model,
+  ``reorder`` allows arbitrary overtaking);
+* :mod:`~repro.net.topology` — latency matrices from graph layouts
+  (complete, ring, star, random geometric via networkx when
+  available);
+* :mod:`~repro.net.network` — the delivery fabric binding a
+  :class:`~repro.sim.kernel.Simulator` to a set of actors, with
+  message accounting by type.
+"""
+
+from repro.net.channels import ChannelDiscipline, FifoChannel, RawChannel
+from repro.net.delay import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    JitteredDelay,
+    MatrixDelay,
+    UniformDelay,
+)
+from repro.net.message import Message
+from repro.net.network import Network, NetworkStats
+from repro.net.topology import LatencyMatrix, Topology
+
+__all__ = [
+    "ChannelDiscipline",
+    "ConstantDelay",
+    "DelayModel",
+    "ExponentialDelay",
+    "FifoChannel",
+    "JitteredDelay",
+    "LatencyMatrix",
+    "MatrixDelay",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "RawChannel",
+    "Topology",
+    "UniformDelay",
+]

@@ -1,0 +1,191 @@
+"""Message delivery fabric.
+
+:class:`Network` binds a :class:`~repro.sim.kernel.Simulator` to a set
+of registered :class:`~repro.sim.process.Actor` instances and delivers
+messages after a delay chosen by the configured
+:class:`~repro.net.delay.DelayModel` and
+:class:`~repro.net.channels.ChannelDiscipline`.
+
+It also owns the message accounting: counts per message ``kind`` and
+total, which the metrics layer divides by completed CS executions to
+obtain the paper's NME measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.channels import ChannelDiscipline, RawChannel
+from repro.net.delay import ConstantDelay, DelayModel
+from repro.net.message import Message
+from repro.sim.kernel import Simulator
+from repro.sim.process import Actor
+
+__all__ = ["Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Running message accounting."""
+
+    sent_total: int = 0
+    delivered_total: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    weighted_units: int = 0
+
+    def record_send(self, message: Message) -> None:
+        self.sent_total += 1
+        self.weighted_units += message.size_units()
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+
+    def snapshot(self) -> "NetworkStats":
+        return NetworkStats(
+            sent_total=self.sent_total,
+            delivered_total=self.delivered_total,
+            by_kind=dict(self.by_kind),
+            weighted_units=self.weighted_units,
+        )
+
+
+class Network:
+    """Reliable, possibly reordering, message-passing fabric.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel providing time and scheduling.
+    delay_model:
+        Per-message propagation delay (default: the paper's constant
+        Tn = 5).
+    channel:
+        Ordering discipline (default: :class:`RawChannel`, i.e. no
+        FIFO guarantee — the paper's weakest assumption).
+    rng:
+        Random stream used by stochastic delay models.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        delay_model: Optional[DelayModel] = None,
+        channel: Optional[ChannelDiscipline] = None,
+        rng=None,
+    ) -> None:
+        import random as _random
+
+        self.sim = sim
+        self.delay_model = delay_model or ConstantDelay(5.0)
+        self.channel = channel or RawChannel()
+        self.rng = rng or _random.Random(0)
+        self.stats = NetworkStats()
+        self._actors: Dict[int, Actor] = {}
+        self._taps: List[Callable[[int, int, Message, float], None]] = []
+        self._partitioned: set[tuple[int, int]] = set()
+        self._failed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, actor: Actor) -> None:
+        """Register an actor as addressable by its ``actor_id``."""
+        if actor.actor_id in self._actors:
+            raise ValueError(f"actor id {actor.actor_id} already registered")
+        self._actors[actor.actor_id] = actor
+
+    def actor(self, actor_id: int) -> Actor:
+        return self._actors[actor_id]
+
+    @property
+    def n_actors(self) -> int:
+        return len(self._actors)
+
+    def add_tap(
+        self, tap: Callable[[int, int, Message, float], None]
+    ) -> None:
+        """Observe every send as ``tap(src, dst, message, deliver_at)``.
+
+        Used by the trace recorder and by tests asserting on message
+        flow; taps must not mutate the message.
+        """
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # fault injection (used by resilience tests)
+    # ------------------------------------------------------------------
+    def partition(self, a: int, b: int) -> None:
+        """Silently drop messages between ``a`` and ``b`` (both ways)."""
+        self._partitioned.add((a, b))
+        self._partitioned.add((b, a))
+
+    def heal(self, a: int, b: int) -> None:
+        self._partitioned.discard((a, b))
+        self._partitioned.discard((b, a))
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash ``node_id``: all of its traffic is silently dropped.
+
+        Models a fail-stop crash at the network level (the paper's §4
+        resilience narrative: "crash of nodes will not affect the
+        algorithm's execution", inherited from MCV).  In-flight
+        messages already scheduled for delivery still arrive — a crash
+        does not retract packets on the wire — but the crashed node
+        neither sends nor receives from the crash instant on.
+        """
+        self._failed.add(node_id)
+
+    def recover_node(self, node_id: int) -> None:
+        self._failed.discard(node_id)
+
+    def is_failed(self, node_id: int) -> bool:
+        return node_id in self._failed
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        Self-sends are rejected: every algorithm in this repository
+        models local state transitions as function calls, and a
+        self-send almost always indicates a protocol bug.
+        """
+        if src == dst:
+            raise ValueError(f"node {src} attempted to send to itself")
+        if dst not in self._actors:
+            raise KeyError(f"unknown destination node {dst}")
+        self.stats.record_send(message)
+        if (src, dst) in self._partitioned:
+            return  # dropped by the injected partition
+        if src in self._failed or dst in self._failed:
+            return  # fail-stop crash: traffic to/from the node is lost
+        deliver_at = self.channel.delivery_time(
+            src, dst, self.sim.now, self.delay_model, self.rng
+        )
+        for tap in self._taps:
+            tap(src, dst, message, deliver_at)
+        actor = self._actors[dst]
+
+        def _deliver(actor=actor, src=src, message=message) -> None:
+            self.stats.delivered_total += 1
+            actor.deliver(src, message)
+
+        self.sim.schedule_at(
+            deliver_at, _deliver, label=f"deliver:{message.kind}:{src}->{dst}"
+        )
+
+    def broadcast(self, src: int, message_factory: Callable[[int], Message]) -> int:
+        """Send an individually constructed message to every other node.
+
+        ``message_factory(dst)`` builds the per-destination message
+        (protocols must not share mutable payload across copies).
+        Returns the number of messages sent.
+        """
+        count = 0
+        for dst in self._actors:
+            if dst == src:
+                continue
+            self.send(src, dst, message_factory(dst))
+            count += 1
+        return count

@@ -1,0 +1,163 @@
+"""Latency topologies.
+
+The paper assumes a logically complete network with uniform latency.
+For the "arbitrary network topology" claim (§1 — the algorithm is
+non-structured and should not care), we also derive per-pair
+latencies from graph layouts: messages between non-adjacent nodes pay
+the shortest-path latency, as if routed by an underlying network.
+
+networkx is used when available for the generators; a complete
+topology needs no graph library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Topology", "LatencyMatrix"]
+
+
+class LatencyMatrix:
+    """Dense per-pair latency table with callable access.
+
+    Instances are valid ``base`` arguments for
+    :class:`~repro.net.delay.JitteredDelay` and can be sampled
+    directly by :class:`~repro.net.network.Network` via
+    :class:`~repro.net.delay.DelayModel` adapters.
+    """
+
+    def __init__(self, n: int, matrix: List[List[float]]) -> None:
+        if len(matrix) != n or any(len(row) != n for row in matrix):
+            raise ValueError("matrix must be n x n")
+        for i in range(n):
+            if matrix[i][i] != 0.0:
+                raise ValueError("self-latency must be zero")
+            for j in range(n):
+                if matrix[i][j] < 0:
+                    raise ValueError("latencies must be non-negative")
+        self.n = n
+        self._m = matrix
+
+    def __call__(self, src: int, dst: int) -> float:
+        return self._m[src][dst]
+
+    def mean_offdiagonal(self) -> float:
+        """Average pairwise latency — the model's Tn."""
+        if self.n < 2:
+            return 0.0
+        total = sum(
+            self._m[i][j] for i in range(self.n) for j in range(self.n) if i != j
+        )
+        return total / (self.n * (self.n - 1))
+
+    def max_latency(self) -> float:
+        return max((v for row in self._m for v in row), default=0.0)
+
+
+class Topology:
+    """Factory of :class:`LatencyMatrix` instances from named layouts."""
+
+    @staticmethod
+    def complete(n: int, latency: float = 5.0) -> LatencyMatrix:
+        """Uniform full mesh — the paper's model."""
+        m = [
+            [0.0 if i == j else float(latency) for j in range(n)]
+            for i in range(n)
+        ]
+        return LatencyMatrix(n, m)
+
+    @staticmethod
+    def from_edges(
+        n: int,
+        edges: Iterable[Tuple[int, int, float]],
+        *,
+        default: Optional[float] = None,
+    ) -> LatencyMatrix:
+        """Shortest-path latencies over a weighted undirected graph.
+
+        ``edges`` is an iterable of ``(u, v, latency)``.  Disconnected
+        pairs raise unless ``default`` supplies a fallback latency.
+        Floyd–Warshall is fine here: N <= a few hundred in all our
+        scenarios, and this runs once per scenario.
+        """
+        inf = float("inf")
+        dist = [[0.0 if i == j else inf for j in range(n)] for i in range(n)]
+        for u, v, w in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u},{v}) out of range")
+            if w < 0:
+                raise ValueError("edge latency must be non-negative")
+            w = float(w)
+            if w < dist[u][v]:
+                dist[u][v] = w
+                dist[v][u] = w
+        for k in range(n):
+            dk = dist[k]
+            for i in range(n):
+                dik = dist[i][k]
+                if dik == inf:
+                    continue
+                di = dist[i]
+                for j in range(n):
+                    nd = dik + dk[j]
+                    if nd < di[j]:
+                        di[j] = nd
+        for i in range(n):
+            for j in range(n):
+                if dist[i][j] == inf:
+                    if default is None:
+                        raise ValueError(
+                            f"nodes {i} and {j} are disconnected and no "
+                            "default latency was given"
+                        )
+                    dist[i][j] = float(default)
+        return LatencyMatrix(n, dist)
+
+    @staticmethod
+    def ring(n: int, hop_latency: float = 5.0) -> LatencyMatrix:
+        """Bidirectional ring; latency = hop distance * hop_latency."""
+        edges = [(i, (i + 1) % n, hop_latency) for i in range(n)]
+        return Topology.from_edges(n, edges)
+
+    @staticmethod
+    def star(n: int, center: int = 0, spoke_latency: float = 2.5) -> LatencyMatrix:
+        """Star around ``center``; any pair is two spokes apart."""
+        if not 0 <= center < n:
+            raise ValueError("center out of range")
+        edges = [(center, i, spoke_latency) for i in range(n) if i != center]
+        return Topology.from_edges(n, edges)
+
+    @staticmethod
+    def random_geometric(
+        n: int,
+        *,
+        radius: float = 0.5,
+        seed: int = 0,
+        latency_scale: float = 10.0,
+    ) -> LatencyMatrix:
+        """Random geometric graph latencies (requires networkx).
+
+        Node pairs within ``radius`` in the unit square are linked
+        with latency proportional to Euclidean distance; other pairs
+        pay the shortest multi-hop path.  Regenerated until connected.
+        """
+        import networkx as nx  # local import: optional dependency
+
+        attempt = 0
+        while True:
+            g = nx.random_geometric_graph(n, radius, seed=seed + attempt)
+            if nx.is_connected(g) or n == 1:
+                break
+            attempt += 1
+            if attempt > 100:
+                raise RuntimeError(
+                    "could not generate a connected geometric graph; "
+                    "increase radius"
+                )
+        pos: Dict[int, Tuple[float, float]] = nx.get_node_attributes(g, "pos")
+        edges = []
+        for u, v in g.edges():
+            (x1, y1), (x2, y2) = pos[u], pos[v]
+            d = ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5
+            edges.append((u, v, max(d * latency_scale, 1e-3)))
+        return Topology.from_edges(n, edges)

@@ -1,0 +1,39 @@
+"""Quorum (coterie) construction and validation.
+
+Substrate for the quorum-based baselines:
+
+* :func:`~repro.quorums.grid.grid_quorums` — Maekawa's row+column
+  construction (the "first method" of [9] as commonly realized; size
+  ≈ 2·√N − 1);
+* :func:`~repro.quorums.fpp.fpp_quorums` — finite-projective-plane
+  quorums of size q+1 when N = q²+q+1 for a prime q (Maekawa's
+  optimal construction);
+* :func:`~repro.quorums.tree.tree_quorums` — Agrawal–El Abbadi
+  root-to-leaf binary-tree quorums [1];
+* :func:`~repro.quorums.majority.majority_quorums` — Thomas's
+  majority voting [18], the MCV scheme RCV descends from;
+* :mod:`~repro.quorums.coterie` — validation of the coterie
+  properties (pairwise intersection, self-membership, minimality),
+  used by the property-based tests.
+"""
+
+from repro.quorums.coterie import (
+    CoterieError,
+    is_coterie,
+    validate_quorum_system,
+)
+from repro.quorums.fpp import fpp_quorums, is_fpp_order
+from repro.quorums.grid import grid_quorums
+from repro.quorums.majority import majority_quorums
+from repro.quorums.tree import tree_quorums
+
+__all__ = [
+    "CoterieError",
+    "fpp_quorums",
+    "grid_quorums",
+    "is_coterie",
+    "is_fpp_order",
+    "majority_quorums",
+    "tree_quorums",
+    "validate_quorum_system",
+]

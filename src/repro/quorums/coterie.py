@@ -1,0 +1,79 @@
+"""Coterie validation.
+
+A family of quorums usable for mutual exclusion must satisfy:
+
+* **Intersection** — every pair of quorums shares a node (otherwise
+  two requesters could be granted simultaneously);
+* **Self-membership** (Maekawa's M3) — node *i* belongs to its own
+  quorum, so a node arbitrates its own requests too;
+* **Minimality** (optional, Maekawa's coterie condition) — no quorum
+  strictly contains another.
+
+``validate_quorum_system`` raises :class:`CoterieError` with a
+counter-example; ``is_coterie`` is the boolean form used by the
+hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+__all__ = ["CoterieError", "validate_quorum_system", "is_coterie"]
+
+
+class CoterieError(ValueError):
+    """The quorum family cannot guarantee mutual exclusion."""
+
+
+def validate_quorum_system(
+    quorums: Sequence[FrozenSet[int]],
+    n: int,
+    *,
+    require_self: bool = True,
+    require_minimal: bool = False,
+) -> None:
+    """Raise :class:`CoterieError` on the first violated property."""
+    if len(quorums) != n:
+        raise CoterieError(f"expected {n} quorums, got {len(quorums)}")
+    for i, q in enumerate(quorums):
+        if not q:
+            raise CoterieError(f"quorum of node {i} is empty")
+        bad = [m for m in q if not 0 <= m < n]
+        if bad:
+            raise CoterieError(f"quorum of node {i} has invalid members {bad}")
+        if require_self and i not in q:
+            raise CoterieError(f"node {i} missing from its own quorum {set(q)}")
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not quorums[i] & quorums[j]:
+                raise CoterieError(
+                    f"quorums of nodes {i} and {j} do not intersect: "
+                    f"{set(quorums[i])} vs {set(quorums[j])}"
+                )
+    if require_minimal:
+        distinct = set(quorums)
+        for a in distinct:
+            for b in distinct:
+                if a is not b and a < b:
+                    raise CoterieError(
+                        f"quorum {set(b)} strictly contains {set(a)}"
+                    )
+
+
+def is_coterie(
+    quorums: Sequence[FrozenSet[int]],
+    n: int,
+    *,
+    require_self: bool = True,
+    require_minimal: bool = False,
+) -> bool:
+    try:
+        validate_quorum_system(
+            quorums,
+            n,
+            require_self=require_self,
+            require_minimal=require_minimal,
+        )
+        return True
+    except CoterieError:
+        return False

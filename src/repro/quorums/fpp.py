@@ -1,0 +1,115 @@
+"""Finite-projective-plane quorums (Maekawa's optimal construction).
+
+For a prime ``q`` and ``N = q² + q + 1``, the projective plane
+PG(2, q) yields N lines of q+1 points each, any two lines meeting in
+exactly one point, and each point lying on exactly q+1 lines — the
+ideal, perfectly symmetric quorum system of size ≈ √N that [9]
+analyzes.
+
+Points are the 1-dimensional subspaces of GF(q)³; lines are the
+2-dimensional subspaces.  We enumerate canonical representatives
+(first nonzero coordinate = 1), index them 0..N−1, and assign node
+*i* the line whose index is *i* under the same canonical enumeration
+of dual vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = ["fpp_quorums", "is_fpp_order"]
+
+
+def _is_prime(q: int) -> bool:
+    if q < 2:
+        return False
+    f = 2
+    while f * f <= q:
+        if q % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def is_fpp_order(n: int) -> bool:
+    """True when ``n = q²+q+1`` for some prime q (plane constructible)."""
+    return _fpp_prime_order(n) is not None
+
+
+def _fpp_prime_order(n: int):
+    q = 1
+    while q * q + q + 1 <= n:
+        if q * q + q + 1 == n and _is_prime(q):
+            return q
+        q += 1
+    return None
+
+
+def _canonical_points(q: int) -> List[Tuple[int, int, int]]:
+    """Projective points of PG(2,q): first nonzero coordinate is 1."""
+    pts: List[Tuple[int, int, int]] = []
+    for y in range(q):
+        for z in range(q):
+            pts.append((1, y, z))
+    for z in range(q):
+        pts.append((0, 1, z))
+    pts.append((0, 0, 1))
+    return pts
+
+
+def fpp_quorums(n: int) -> List[FrozenSet[int]]:
+    """Quorums of size q+1 for ``n = q²+q+1`` nodes, q prime.
+
+    Raises ``ValueError`` for other n (callers fall back to
+    :func:`~repro.quorums.grid.grid_quorums`).
+    """
+    q = _fpp_prime_order(n)
+    if q is None:
+        raise ValueError(
+            f"n={n} is not q^2+q+1 for a prime q; use grid_quorums"
+        )
+    points = _canonical_points(q)
+    index: Dict[Tuple[int, int, int], int] = {p: i for i, p in enumerate(points)}
+    quorums: List[FrozenSet[int]] = []
+    # Lines are dual vectors (a,b,c): the line contains the points P
+    # with a*x + b*y + c*z == 0 (mod q).  Enumerate lines canonically
+    # the same way as points so node i gets line i.
+    for a, b, c in points:
+        members = frozenset(
+            index[p]
+            for p in points
+            if (a * p[0] + b * p[1] + c * p[2]) % q == 0
+        )
+        quorums.append(members)
+    # Node i must belong to its own quorum (Maekawa property M3).
+    # Assign each point a distinct line through it: the point/line
+    # incidence graph is (q+1)-regular bipartite, so a perfect
+    # matching exists (Hall's theorem); find it by augmenting paths.
+    line_of_point = _perfect_matching(
+        n, [[k for k, line in enumerate(quorums) if i in line] for i in range(n)]
+    )
+    return [quorums[line_of_point[i]] for i in range(n)]
+
+
+def _perfect_matching(n: int, candidates: List[List[int]]) -> List[int]:
+    """Match each left vertex i to one of ``candidates[i]`` injectively
+    (classic Kuhn's augmenting-path algorithm)."""
+    matched_right: Dict[int, int] = {}
+
+    def try_assign(i: int, visited: set) -> bool:
+        for k in candidates[i]:
+            if k in visited:
+                continue
+            visited.add(k)
+            if k not in matched_right or try_assign(matched_right[k], visited):
+                matched_right[k] = i
+                return True
+        return False
+
+    for i in range(n):
+        if not try_assign(i, set()):  # pragma: no cover - Hall guarantees
+            raise RuntimeError(f"no perfect matching for point {i}")
+    out = [0] * n
+    for k, i in matched_right.items():
+        out[i] = k
+    return out

@@ -1,0 +1,43 @@
+"""Maekawa grid quorums.
+
+Nodes are arranged row-major in an r×c grid with ``r*c >= N`` and the
+quorum of node *i* is its full row plus its full column.  Any two
+quorums intersect (row of one crosses the column of the other), every
+quorum contains its owner, and the size is ``r + c - 1`` ≈ 2√N − 1
+for a square grid.
+
+When the grid is ragged (N not a multiple of c), out-of-range cells
+are skipped; column intersections still hold because every column
+index below c has a cell in row 0 (the first row is always complete).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List
+
+__all__ = ["grid_quorums"]
+
+
+def grid_quorums(n: int) -> List[FrozenSet[int]]:
+    """Return the Maekawa grid quorum of every node (index = node id)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    cols = math.ceil(math.sqrt(n))
+    rows = math.ceil(n / cols)
+    quorums: List[FrozenSet[int]] = []
+    for i in range(n):
+        r, c = divmod(i, cols)
+        members = set()
+        # full row r
+        for cc in range(cols):
+            j = r * cols + cc
+            if j < n:
+                members.add(j)
+        # full column c
+        for rr in range(rows):
+            j = rr * cols + c
+            if j < n:
+                members.add(j)
+        quorums.append(frozenset(members))
+    return quorums

@@ -1,0 +1,24 @@
+"""Majority quorums — Thomas's MCV scheme [18].
+
+The simplest coterie: any ⌊N/2⌋+1 nodes.  We assign node *i* the
+window ``{i, i+1, …, i+⌊N/2⌋} mod N`` so load is perfectly balanced
+and quorums are distinct.  Included both as a baseline quorum system
+for the generic quorum protocol and because RCV is derived from MCV —
+the ablation compares their message costs directly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+__all__ = ["majority_quorums"]
+
+
+def majority_quorums(n: int) -> List[FrozenSet[int]]:
+    """Sliding-window majority quorum per node."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    size = n // 2 + 1
+    return [
+        frozenset((i + k) % n for k in range(size)) for i in range(n)
+    ]

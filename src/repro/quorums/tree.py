@@ -1,0 +1,97 @@
+"""Agrawal–El Abbadi tree quorums [1].
+
+Nodes form a complete binary tree (array layout, root = 0).  A quorum
+is obtained by walking from the root to a leaf; if a node on the path
+is unavailable the protocol substitutes *both* paths through its
+children.  In the all-available case used by our simulations, a
+quorum is one root-to-leaf path of ⌈log2(N+1)⌉ nodes — any two paths
+intersect at least at the root.
+
+``tree_quorums`` assigns node *i* the path toward the leaf reached by
+descending left/right according to the bits of ``i`` (spreading load
+across leaves); ``tree_quorum_avoiding`` builds a quorum that avoids
+a set of failed nodes, exercising the fault-tolerant recursion in
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Set
+
+__all__ = ["tree_quorums", "tree_quorum_avoiding"]
+
+
+def _children(i: int, n: int) -> tuple[int | None, int | None]:
+    left, right = 2 * i + 1, 2 * i + 2
+    return (left if left < n else None, right if right < n else None)
+
+
+def _path_to_leaf(n: int, steer: int) -> List[int]:
+    """Root-to-leaf path, branching by the bits of ``steer``."""
+    path = [0]
+    node = 0
+    bit = 0
+    while True:
+        left, right = _children(node, n)
+        if left is None and right is None:
+            return path
+        take_right = (steer >> bit) & 1
+        bit += 1
+        nxt = right if (take_right and right is not None) else left
+        if nxt is None:
+            nxt = right
+        assert nxt is not None
+        path.append(nxt)
+        node = nxt
+
+
+def tree_quorums(n: int) -> List[FrozenSet[int]]:
+    """All-available tree quorums: node i gets a root-to-leaf path."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return [frozenset(_path_to_leaf(n, i)) for i in range(n)]
+
+
+def tree_quorum_avoiding(n: int, failed: Sequence[int]) -> FrozenSet[int]:
+    """A quorum over a tree with ``failed`` nodes, per [1]'s recursion:
+
+    to cover subtree rooted at v: if v is alive, take v plus a path
+    below it; if v has failed, cover *both* children's subtrees.
+    Raises ``ValueError`` when no quorum exists (e.g. both a node and
+    all leaves under it failed).
+    """
+    failed_set: Set[int] = set(failed)
+
+    def cover(v: int) -> Set[int]:
+        left, right = _children(v, n)
+        if v not in failed_set:
+            # v plus a path to a leaf through live nodes
+            out = {v}
+            node = v
+            while True:
+                l, r = _children(node, n)
+                if l is None and r is None:
+                    return out
+                for cand in (l, r):
+                    if cand is not None and cand not in failed_set:
+                        out.add(cand)
+                        node = cand
+                        break
+                else:
+                    # both children failed (or missing): must cover
+                    # both grandchild subtrees of each failed child
+                    for cand in (l, r):
+                        if cand is not None:
+                            out |= cover(cand)
+                    return out
+        # v failed: need both children's covers
+        if left is None and right is None:
+            raise ValueError(f"leaf {v} failed: no quorum exists")
+        out = set()
+        for cand in (left, right):
+            if cand is None:
+                raise ValueError(f"failed node {v} lacks a child subtree")
+            out |= cover(cand)
+        return out
+
+    return frozenset(cover(0))

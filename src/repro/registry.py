@@ -1,0 +1,64 @@
+"""Algorithm registry: experiment-facing names → node factories.
+
+A factory has signature ``factory(node_id, n_nodes, env, hooks,
+**kwargs)`` and returns a :class:`~repro.mutex.base.MutexNode`.
+Imports are lazy so that importing :mod:`repro` stays cheap and the
+registry can be extended by tests without touching the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["ALGORITHMS", "get_algorithm", "register_algorithm", "algorithm_names"]
+
+_LAZY_SPECS: Dict[str, str] = {
+    # the paper's algorithm
+    "rcv": "repro.core.node:RCVNode",
+    # the paper's comparison set (Figures 4–7)
+    "ricart_agrawala": "repro.baselines.ricart_agrawala:RicartAgrawalaNode",
+    "broadcast": "repro.baselines.suzuki_kasami:SuzukiKasamiNode",
+    "suzuki_kasami": "repro.baselines.suzuki_kasami:SuzukiKasamiNode",
+    "singhal": "repro.baselines.singhal:SinghalNode",
+    "maekawa": "repro.baselines.maekawa:MaekawaNode",
+    # extended comparison set (the paper's future work)
+    "lamport": "repro.baselines.lamport:LamportNode",
+    "centralized": "repro.baselines.centralized:CentralizedNode",
+    "raymond": "repro.baselines.raymond:RaymondNode",
+    "agrawal_elabbadi": "repro.baselines.agrawal_elabbadi:AgrawalElAbbadiNode",
+    "tree_quorum": "repro.baselines.agrawal_elabbadi:AgrawalElAbbadiNode",
+    "naimi_trehel": "repro.baselines.naimi_trehel:NaimiTrehelNode",
+}
+
+ALGORITHMS: Dict[str, Callable] = {}
+
+
+def register_algorithm(name: str, factory: Callable) -> None:
+    """Register (or override) an algorithm factory under ``name``."""
+    ALGORITHMS[name] = factory
+
+
+def _load(spec: str) -> Callable:
+    module_name, _, attr = spec.partition(":")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def get_algorithm(name: str) -> Callable:
+    """Resolve ``name`` to a node factory, loading lazily."""
+    if name in ALGORITHMS:
+        return ALGORITHMS[name]
+    spec = _LAZY_SPECS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(algorithm_names())}"
+        )
+    factory = _load(spec)
+    ALGORITHMS[name] = factory
+    return factory
+
+
+def algorithm_names() -> list[str]:
+    return sorted(set(_LAZY_SPECS) | set(ALGORITHMS))

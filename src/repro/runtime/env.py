@@ -1,0 +1,74 @@
+"""Asyncio implementation of the :class:`~repro.mutex.base.Env`
+protocol.
+
+Single-threaded by construction: all node callbacks run on the event
+loop, so algorithm state needs no locking — the same discipline the
+simulator provides.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Optional
+
+from repro.mutex.base import Env
+from repro.net.message import Message
+from repro.sim.rng import RngRegistry
+
+__all__ = ["AsyncEnv", "AsyncHandle"]
+
+
+class AsyncHandle:
+    """Duck-type of :class:`repro.sim.kernel.Handle` over call_later."""
+
+    __slots__ = ("_timer", "_cancelled")
+
+    def __init__(self, timer: asyncio.TimerHandle) -> None:
+        self._timer = timer
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._timer.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+
+class AsyncEnv(Env):
+    """Event-loop environment; transport injected by the cluster."""
+
+    def __init__(
+        self,
+        sender: Callable[[int, int, Message], None],
+        *,
+        seed: int = 0,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        self._sender = sender
+        self._rngs = RngRegistry(seed)
+        self._loop = loop
+
+    def _get_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    def now(self) -> float:
+        return self._get_loop().time()
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        self._sender(src, dst, message)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> AsyncHandle:
+        timer = self._get_loop().call_later(max(0.0, delay), callback)
+        return AsyncHandle(timer)
+
+    def rng(self, name: str) -> random.Random:
+        return self._rngs.stream(name)

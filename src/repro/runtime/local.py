@@ -1,0 +1,139 @@
+"""In-process asyncio cluster.
+
+All N algorithm nodes live on one event loop; ``send`` schedules the
+destination's ``on_message`` after a configurable delay (with
+optional jitter, which — as in the simulator — makes delivery
+non-FIFO and exercises the paper's weakest-assumption claim in real
+time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+from typing import Dict, List, Optional
+
+from repro.mutex.base import Hooks, MutexNode, NodeState
+from repro.net.message import Message
+from repro.registry import get_algorithm
+from repro.runtime.env import AsyncEnv
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """N algorithm nodes sharing one event loop.
+
+    Parameters
+    ----------
+    n_nodes / algorithm / algo_kwargs:
+        Same meaning as in :class:`~repro.workload.scenario.Scenario`.
+    delay:
+        Mean one-way message delay in (real) seconds.
+    jitter:
+        Uniform ± jitter added to each delay; nonzero jitter permits
+        out-of-order delivery.
+    seed:
+        Seeds the delay jitter and any algorithm randomness.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        *,
+        algorithm: str = "rcv",
+        delay: float = 0.002,
+        jitter: float = 0.0,
+        seed: int = 0,
+        algo_kwargs: Optional[dict] = None,
+    ) -> None:
+        if delay < 0 or jitter < 0 or jitter > delay:
+            raise ValueError("need 0 <= jitter <= delay")
+        self.n_nodes = n_nodes
+        self.algorithm = algorithm
+        self.delay = delay
+        self.jitter = jitter
+        self._delay_rng = random.Random(seed)
+        self.hooks = Hooks()
+        self.env = AsyncEnv(self._send, seed=seed)
+        factory = get_algorithm(algorithm)
+        self.nodes: List[MutexNode] = [
+            factory(i, n_nodes, self.env, self.hooks, **(algo_kwargs or {}))
+            for i in range(n_nodes)
+        ]
+        self._granted_events: Dict[int, asyncio.Event] = {}
+        self.hooks.subscribe_granted(self._on_granted)
+        self.messages_sent = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._started:
+            return
+        for node in self.nodes:
+            node.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        # Give in-flight deliveries a chance to settle before teardown
+        # so cancellation doesn't strand a grant.
+        await asyncio.sleep(self.delay * 2)
+        self._started = False
+
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _send(self, src: int, dst: int, message: Message) -> None:
+        if src == dst:
+            raise ValueError("self-send")
+        self.messages_sent += 1
+        d = self.delay
+        if self.jitter:
+            d = self._delay_rng.uniform(d - self.jitter, d + self.jitter)
+        loop = asyncio.get_running_loop()
+        node = self.nodes[dst]
+        loop.call_later(max(0.0, d), node.on_message, src, message)
+
+    # ------------------------------------------------------------------
+    # lock facade
+    # ------------------------------------------------------------------
+    def _on_granted(self, node_id: int) -> None:
+        event = self._granted_events.get(node_id)
+        if event is not None:
+            event.set()
+
+    async def acquire(self, node_id: int, timeout: Optional[float] = None) -> None:
+        """Request the CS on behalf of ``node_id`` and wait for it."""
+        node = self.nodes[node_id]
+        event = asyncio.Event()
+        self._granted_events[node_id] = event
+        node.request_cs()
+        if node.state is NodeState.IN_CS:  # granted synchronously
+            self._granted_events.pop(node_id, None)
+            return
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        finally:
+            self._granted_events.pop(node_id, None)
+
+    def release(self, node_id: int) -> None:
+        self.nodes[node_id].release_cs()
+
+    @contextlib.asynccontextmanager
+    async def lock(self, node_id: int, timeout: Optional[float] = None):
+        """``async with cluster.lock(i): ...`` — acquire/release."""
+        await self.acquire(node_id, timeout)
+        try:
+            yield
+        finally:
+            self.release(node_id)

@@ -1,0 +1,211 @@
+"""Event-heap simulation kernel.
+
+The kernel is intentionally small: a priority queue of ``(time, tie,
+seq)`` keys mapped to callbacks.  Determinism rules:
+
+* events at equal times fire in ``(tie, seq)`` order, where ``tie`` is
+  a caller-supplied priority (lower first) and ``seq`` is a global
+  insertion counter — so runs are bit-for-bit reproducible;
+* cancelled events stay in the heap but are skipped (lazy deletion),
+  which keeps :meth:`Simulator.schedule` and :meth:`Handle.cancel`
+  O(log n) / O(1).
+
+The kernel knows nothing about networks or algorithms; those live in
+:mod:`repro.net` and :mod:`repro.mutex`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Handle", "Simulator", "SimulationError", "EventBudgetExceeded"]
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level failures."""
+
+
+class EventBudgetExceeded(SimulationError):
+    """Raised when a run exceeds its configured event budget.
+
+    This is the kernel's livelock guard: scenarios that should
+    terminate (all requests served) but keep generating events — e.g.
+    a broken algorithm endlessly forwarding a request — surface as
+    this exception instead of hanging the test suite.
+    """
+
+
+class Handle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "_cancelled", "callback")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback: Optional[Callable[[], None]] = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+        self.callback = None  # break reference cycles early
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def active(self) -> bool:
+        """True while the event is scheduled and not cancelled."""
+        return not self._cancelled and self.callback is not None
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap on the number of events executed by :meth:`run`;
+        exceeding it raises :class:`EventBudgetExceeded`.
+    trace:
+        Optional callable invoked as ``trace(time, label)`` before each
+        event executes; used by :mod:`repro.trace`.
+    """
+
+    def __init__(
+        self,
+        max_events: int = 10_000_000,
+        trace: Optional[Callable[[float, str], None]] = None,
+    ) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Handle, str]] = []
+        self._seq = 0
+        self._events_run = 0
+        self.max_events = int(max_events)
+        self.trace = trace
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # time & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Number of events executed so far."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events remaining."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        tie: int = 0,
+        label: str = "",
+    ) -> Handle:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        ``tie`` orders events that share a firing time (lower first);
+        insertion order breaks remaining ties.  Negative delays are
+        rejected — simulated time never flows backwards.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        handle = Handle(self._now + delay, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, (handle.time, tie, self._seq, handle, label))
+        return handle
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        tie: int = 0,
+        label: str = "",
+    ) -> Handle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, tie=tie, label=label)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            time, _tie, _seq, handle, label = heapq.heappop(self._heap)
+            if not handle.active:
+                continue
+            self._now = time
+            callback = handle.callback
+            handle.callback = None
+            self._events_run += 1
+            if self._events_run > self.max_events:
+                raise EventBudgetExceeded(
+                    f"exceeded {self.max_events} events at t={self._now}"
+                )
+            if self.trace is not None:
+                self.trace(time, label)
+            assert callback is not None
+            callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the heap drains or ``until`` is reached.
+
+        Returns the final simulated time.  When ``until`` is given,
+        time is advanced to exactly ``until`` even if the last event
+        fired earlier, matching the usual DES convention.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+            else:
+                while self._heap:
+                    next_time = self._peek_time()
+                    if next_time is None or next_time > until:
+                        break
+                    self.step()
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek_time(self) -> Optional[float]:
+        """Earliest non-cancelled event time, or None."""
+        while self._heap:
+            time, _tie, _seq, handle, _label = self._heap[0]
+            if handle.active:
+                return time
+            heapq.heappop(self._heap)
+        return None
+
+    def drain_cancelled(self) -> int:
+        """Compact the heap by dropping cancelled entries (maintenance)."""
+        before = len(self._heap)
+        live = [e for e in self._heap if e[3].active]
+        heapq.heapify(live)
+        self._heap = live
+        return before - len(live)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self._now}, pending={len(self._heap)}, "
+            f"run={self._events_run})"
+        )

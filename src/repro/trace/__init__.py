@@ -1,0 +1,12 @@
+"""Structured event tracing for debugging protocol runs.
+
+:class:`~repro.trace.recorder.TraceRecorder` taps the network and the
+grant/release hooks and accumulates a time-ordered event log that can
+be filtered, rendered, or written to JSON-lines.  Used by the
+examples (``examples/trace_walkthrough.py``) and by regression tests
+that pin exact message sequences.
+"""
+
+from repro.trace.recorder import TraceEvent, TraceRecorder
+
+__all__ = ["TraceEvent", "TraceRecorder"]

@@ -1,0 +1,96 @@
+"""Event-log recorder."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed event."""
+
+    time: float
+    category: str  # "send" | "grant" | "release"
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    kind: Optional[str] = None
+    detail: str = ""
+
+    def render(self) -> str:
+        if self.category == "send":
+            return (
+                f"t={self.time:10.2f}  {self.src:>3} -> {self.dst:<3} "
+                f"{self.detail}"
+            )
+        return f"t={self.time:10.2f}  node {self.src}: {self.category}"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` entries from a live scenario.
+
+    Attach before the run::
+
+        recorder = TraceRecorder(clock=lambda: sim.now)
+        network.add_tap(recorder.network_tap)
+        recorder.attach_hooks(hooks)
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def network_tap(self, src: int, dst: int, message, deliver_at: float) -> None:
+        self.events.append(
+            TraceEvent(
+                time=self._clock(),
+                category="send",
+                src=src,
+                dst=dst,
+                kind=message.kind,
+                detail=f"{message.describe()} (arrives t={deliver_at:.2f})",
+            )
+        )
+
+    def attach_hooks(self, hooks) -> None:
+        hooks.subscribe_granted(
+            lambda nid: self.events.append(
+                TraceEvent(time=self._clock(), category="grant", src=nid)
+            )
+        )
+        hooks.subscribe_released(
+            lambda nid: self.events.append(
+                TraceEvent(time=self._clock(), category="release", src=nid)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        *,
+        category: Optional[str] = None,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        out = self.events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if node is not None:
+            out = [e for e in out if e.src == node or e.dst == node]
+        return list(out)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(e.render() for e in events)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(asdict(e)) for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,38 @@
+"""Workload generation and scenario execution.
+
+Reproduces the paper's two load models (§6.2):
+
+* :class:`~repro.workload.arrivals.BurstArrivals` — every node
+  requests the CS simultaneously at t=0 and exactly once (Figures
+  4–5, "all nodes are requesting the CS simultaneously as soon as the
+  system is initialized; every node only requests once");
+* :class:`~repro.workload.arrivals.PoissonArrivals` — requests arrive
+  at each node with exponential inter-arrival times of mean 1/λ
+  (Figures 6–7), one outstanding request per node;
+* :class:`~repro.workload.arrivals.TraceArrivals` — explicit request
+  times, used by regression tests to pin adversarial schedules.
+
+:func:`~repro.workload.runner.run_scenario` wires a scenario together
+(kernel, network, algorithm nodes, drivers, safety monitor, metrics)
+and returns a :class:`~repro.metrics.records.RunResult`.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.workload.driver import NodeDriver
+from repro.workload.scenario import Scenario
+from repro.workload.runner import run_scenario
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstArrivals",
+    "NodeDriver",
+    "PoissonArrivals",
+    "Scenario",
+    "TraceArrivals",
+    "run_scenario",
+]

@@ -1,0 +1,79 @@
+"""Per-node request driver.
+
+Implements the application side of the mutex API: issue requests per
+the arrival process, hold the CS for the configured execution time,
+release, repeat.  The paper's defaults are a constant CS execution
+time Tc = 10 time units.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.mutex.base import MutexNode
+from repro.sim.kernel import Simulator
+from repro.workload.arrivals import ArrivalProcess
+
+__all__ = ["NodeDriver"]
+
+
+class NodeDriver:
+    """Drives one algorithm node through request/hold/release cycles."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MutexNode,
+        arrivals: ArrivalProcess,
+        cs_time: Callable[[random.Random], float],
+        collector: MetricsCollector,
+        rng: random.Random,
+        *,
+        issue_deadline: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.arrivals = arrivals
+        self.cs_time = cs_time
+        self.collector = collector
+        self.rng = rng
+        #: no new requests are *issued* after this simulated time;
+        #: in-flight requests still drain (paper: fixed-horizon runs).
+        self.issue_deadline = issue_deadline
+        self.requests_issued = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        delay = self.arrivals.first_delay(self.node.node_id, self.rng)
+        self._schedule_issue(delay)
+
+    def _schedule_issue(self, delay: Optional[float]) -> None:
+        if delay is None:
+            return
+        target = self.sim.now + delay
+        if self.issue_deadline is not None and target > self.issue_deadline:
+            return
+        self.sim.schedule(delay, self._issue, label=f"issue:{self.node.node_id}")
+
+    def _issue(self) -> None:
+        self.collector.on_requested(self.node.node_id)
+        self.requests_issued += 1
+        self.node.request_cs()
+
+    # hook subscribers (filtered to this node by the runner) ------------
+    def on_granted(self, node_id: int) -> None:
+        if node_id != self.node.node_id:
+            return
+        hold = self.cs_time(self.rng)
+        self.sim.schedule(
+            hold, self.node.release_cs, label=f"release:{node_id}"
+        )
+
+    def on_released(self, node_id: int) -> None:
+        if node_id != self.node.node_id:
+            return
+        self._schedule_issue(
+            self.arrivals.next_delay(self.node.node_id, self.rng)
+        )

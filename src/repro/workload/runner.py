@@ -1,0 +1,120 @@
+"""Scenario execution: wire everything together and run to completion."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.records import RunResult
+from repro.metrics.safety import SafetyMonitor
+from repro.mutex.base import Hooks, SimEnv
+from repro.net.network import Network
+from repro.registry import get_algorithm
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workload.arrivals import TraceArrivals
+from repro.workload.driver import NodeDriver
+from repro.workload.scenario import Scenario
+
+__all__ = ["run_scenario", "IncompleteRunError"]
+
+
+class IncompleteRunError(RuntimeError):
+    """Raised by :func:`run_scenario` with ``require_completion=True``
+    when some issued request never completed — a liveness failure
+    (Theorems 2–3) within the simulated horizon."""
+
+    def __init__(self, message: str, result: RunResult) -> None:
+        super().__init__(message)
+        self.result = result
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    require_completion: bool = True,
+) -> RunResult:
+    """Run ``scenario`` and return its :class:`RunResult`.
+
+    With ``require_completion`` (default), a run in which any issued
+    request was never granted+released raises
+    :class:`IncompleteRunError` — surfacing deadlock or starvation
+    instead of silently reporting partial metrics.  Safety (mutual
+    exclusion) is enforced during the run by
+    :class:`~repro.metrics.safety.SafetyMonitor`.
+    """
+    sim = Simulator(max_events=scenario.max_events)
+    rngs = RngRegistry(scenario.seed)
+    network = Network(
+        sim,
+        delay_model=scenario.delay_model,
+        channel=scenario.channel,
+        rng=rngs.stream("net/delay"),
+    )
+    hooks = Hooks()
+    env = SimEnv(sim, network, rngs)
+    collector = MetricsCollector(lambda: sim.now)
+    safety = SafetyMonitor(lambda: sim.now, waiting_probe=collector.has_waiters)
+    safety.attach(hooks)
+    collector.attach(hooks)
+
+    factory = get_algorithm(scenario.algorithm)
+    nodes = [
+        factory(i, scenario.n_nodes, env, hooks, **scenario.algo_kwargs)
+        for i in range(scenario.n_nodes)
+    ]
+    for node in nodes:
+        network.register(node)
+    for node in nodes:
+        node.start()
+
+    if isinstance(scenario.arrivals, TraceArrivals):
+        scenario.arrivals.bind_clock(lambda: sim.now)
+
+    drivers: List[NodeDriver] = []
+    for node in nodes:
+        driver = NodeDriver(
+            sim,
+            node,
+            scenario.arrivals,
+            scenario.cs_time,
+            collector,
+            rngs.node_stream("driver", node.node_id),
+            issue_deadline=scenario.issue_deadline,
+        )
+        hooks.subscribe_granted(driver.on_granted)
+        hooks.subscribe_released(driver.on_released)
+        drivers.append(driver)
+    for driver in drivers:
+        driver.start()
+
+    sim.run(until=scenario.drain_deadline)
+
+    extra: Dict[str, float] = {}
+    for node in nodes:
+        snap = getattr(node, "counter_snapshot", None)
+        if snap is None:
+            continue
+        for key, value in snap().items():
+            extra[key] = extra.get(key, 0) + value
+
+    result = collector.finalize(
+        algorithm=scenario.algorithm,
+        n_nodes=scenario.n_nodes,
+        seed=scenario.seed,
+        horizon=sim.now,
+        network_stats=network.stats,
+        sync_delays=safety.sync_delays,
+        extra=extra,
+    )
+    if require_completion and not result.all_completed():
+        incomplete = [
+            r.node_id for r in result.records if not r.completed
+        ]
+        raise IncompleteRunError(
+            f"{len(incomplete)} of {result.issued_count} requests never "
+            f"completed (nodes {sorted(set(incomplete))[:10]}…) — "
+            f"liveness failure in algorithm {scenario.algorithm!r}",
+            result,
+        )
+    return result

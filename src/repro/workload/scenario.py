@@ -1,0 +1,52 @@
+"""Scenario description: everything needed to reproduce one run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.channels import ChannelDiscipline
+from repro.net.delay import DelayModel
+from repro.workload.arrivals import ArrivalProcess
+
+__all__ = ["Scenario"]
+
+
+def constant_cs_time(value: float) -> Callable:
+    """CS hold time of exactly ``value`` — the paper's Tc = 10."""
+
+    def fn(rng) -> float:
+        return value
+
+    fn.__name__ = f"constant_cs_time_{value}"
+    return fn
+
+
+@dataclass
+class Scenario:
+    """A fully specified experiment run.
+
+    ``algorithm`` names a registered algorithm (see
+    :data:`repro.experiments.registry.ALGORITHMS`); ``algo_kwargs``
+    are passed to its node factory (e.g. ``config=RCVConfig(...)`` for
+    RCV, ``quorum_system="grid"`` for Maekawa).
+    """
+
+    algorithm: str
+    n_nodes: int
+    arrivals: ArrivalProcess
+    seed: int = 0
+    cs_time: Callable = field(default_factory=lambda: constant_cs_time(10.0))
+    delay_model: Optional[DelayModel] = None  # default: ConstantDelay(5)
+    channel: Optional[ChannelDiscipline] = None  # default: RawChannel
+    #: stop issuing new requests after this simulated time (None =
+    #: only the arrival process limits the run, e.g. burst workloads)
+    issue_deadline: Optional[float] = None
+    #: hard wall on simulated time while draining (safety net)
+    drain_deadline: Optional[float] = None
+    max_events: int = 10_000_000
+    algo_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")

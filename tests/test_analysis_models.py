@@ -1,0 +1,43 @@
+"""Coverage for the remaining analytical-model surface."""
+
+import pytest
+
+from repro.analysis.theory import MODELS, AlgorithmModel
+
+
+def test_light_response_predictions():
+    rcv = MODELS["rcv"]
+    assert rcv.light_response is not None
+    # ([N/2]+2)·Tn for N=10, Tn=5
+    assert rcv.light_response(10, 5.0) == 35.0
+    ricart = MODELS["ricart_agrawala"]
+    assert ricart.light_response(10, 5.0) == 10.0  # 2·Tn
+
+
+def test_models_notes_reference_sources():
+    for name, model in MODELS.items():
+        assert model.notes, f"{name} lacks a provenance note"
+        assert model.name == name
+
+
+def test_models_bounds_monotone_in_n():
+    """Heavy-load upper bounds should not shrink as systems grow."""
+    for name, model in MODELS.items():
+        hi_small = model.nme(9)[1]
+        hi_large = model.nme(49)[1]
+        assert hi_large >= hi_small, name
+
+
+def test_singhal_model_present_with_token_band():
+    m = MODELS["singhal"]
+    lo, hi = m.nme(20)
+    assert lo == 0.0 and hi == 20.0
+    assert m.sync_delay(5.0) == 5.0
+
+
+def test_custom_model_dataclass_frozen():
+    model = AlgorithmModel(
+        name="x", nme=lambda n: (1.0, 2.0), sync_delay=lambda tn: tn
+    )
+    with pytest.raises(AttributeError):
+        model.name = "y"

@@ -1,0 +1,67 @@
+"""Tests for the experiment-campaign workflow."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    comparison_campaign,
+)
+
+
+def small_campaign():
+    return comparison_campaign(
+        ("rcv", "broadcast"), n_values=(5,), seeds=(0, 1), name="t"
+    )
+
+
+def test_add_sweep_builds_cross_product():
+    c = Campaign(name="x").add_sweep(("a", "b"), (5, 10), (0, 1, 2))
+    assert len(c.cells) == 2 * 2 * 3
+    assert {s.algorithm for s in c.cells} == {"a", "b"}
+
+
+def test_run_and_group():
+    result = small_campaign().run()
+    groups = result.grouped()
+    assert set(groups) == {("rcv", 5), ("broadcast", 5)}
+    assert all(len(runs) == 2 for runs in groups.values())
+
+
+def test_summary_rows_and_markdown():
+    result = small_campaign().run()
+    rows = result.summary_rows()
+    assert len(rows) == 2
+    md = result.to_markdown()
+    assert md.startswith("## Campaign: t")
+    assert "| algorithm |" in md
+    assert "rcv" in md and "broadcast" in md
+
+
+def test_markdown_empty_campaign():
+    empty = CampaignResult(Campaign(name="e"), [])
+    assert "(no results)" in empty.to_markdown()
+
+
+def test_result_count_mismatch_rejected():
+    c = small_campaign()
+    with pytest.raises(ValueError, match="results for"):
+        CampaignResult(c, [])
+
+
+def test_save_and_reload_roundtrip(tmp_path):
+    campaign = small_campaign()
+    result = campaign.run()
+    path = tmp_path / "campaign.json"
+    result.save(path)
+    reloaded = CampaignResult.load(campaign, path)
+    assert reloaded.summary_rows() == result.summary_rows()
+
+
+def test_parallel_run_matches_sequential():
+    campaign = small_campaign()
+    seq = campaign.run(max_workers=1)
+    par = campaign.run(max_workers=2)
+    assert [r.messages_total for r in seq.results] == [
+        r.messages_total for r in par.results
+    ]

@@ -1,0 +1,66 @@
+"""Extra CLI coverage: theory command, paper-scale parameterization,
+and figure-args plumbing."""
+
+from repro import cli
+
+
+def test_figure_args_default_vs_paper_scale():
+    class Args:
+        seeds = 2
+        paper_scale = False
+
+    default = cli._figure_args(Args())
+    assert default["lam"]["horizon"] == 20_000.0
+    assert default["burst"]["seeds"] == (0, 1)
+
+    Args.paper_scale = True
+    paper = cli._figure_args(Args())
+    assert paper["lam"]["horizon"] == 100_000.0
+    assert paper["burst"]["n_values"] == tuple(range(5, 51, 5))
+    assert paper["lam"]["inv_lambdas"] == tuple(range(1, 31))
+
+
+def test_cli_theory_command(capsys, monkeypatch):
+    # Shrink the sweep: patch the underlying table function's defaults.
+    from repro.experiments import figures
+
+    original = figures.theory_table
+
+    def small_table():
+        return original(n_values=(9,), algorithms=("rcv",), seeds=(0,))
+
+    monkeypatch.setattr(
+        "repro.experiments.theory_table", small_table, raising=True
+    )
+    assert cli.main(["theory"]) == 0
+    out = capsys.readouterr().out
+    assert "Measured vs closed-form" in out
+    assert "rcv" in out
+
+
+def test_cli_save_without_parallel_warns(capsys, monkeypatch):
+    monkeypatch.setattr(
+        cli,
+        "_figure_args",
+        lambda args: {
+            "burst": dict(n_values=(5,), seeds=(0,)),
+            "lam": dict(inv_lambdas=(5,), seeds=(0,), horizon=300.0),
+        },
+    )
+    assert cli.main(["fig4", "--save", "/tmp/ignored.json"]) == 0
+    out = capsys.readouterr().out
+    assert "requires --parallel" in out
+
+
+def test_cli_fig6_parallel(capsys, monkeypatch):
+    monkeypatch.setattr(
+        cli,
+        "_figure_args",
+        lambda args: {
+            "burst": dict(n_values=(5,), seeds=(0,)),
+            "lam": dict(inv_lambdas=(5,), seeds=(0,), horizon=300.0),
+        },
+    )
+    assert cli.main(["fig6", "--parallel"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out and "maekawa" in out

@@ -1,0 +1,97 @@
+"""Tests for delay models."""
+
+import random
+
+import pytest
+
+from repro.net.delay import (
+    ConstantDelay,
+    ExponentialDelay,
+    JitteredDelay,
+    UniformDelay,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+def test_constant_delay(rng):
+    d = ConstantDelay(5.0)
+    assert d.sample(0, 1, rng) == 5.0
+    assert d.mean() == 5.0
+
+
+def test_constant_delay_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantDelay(-1)
+
+
+def test_uniform_delay_bounds_and_mean(rng):
+    d = UniformDelay(2.0, 8.0)
+    samples = [d.sample(0, 1, rng) for _ in range(2000)]
+    assert all(2.0 <= s <= 8.0 for s in samples)
+    assert d.mean() == 5.0
+    assert abs(sum(samples) / len(samples) - 5.0) < 0.2
+
+
+def test_uniform_delay_validation():
+    with pytest.raises(ValueError):
+        UniformDelay(5.0, 2.0)
+    with pytest.raises(ValueError):
+        UniformDelay(-1.0, 2.0)
+
+
+def test_exponential_delay_floor_and_mean(rng):
+    d = ExponentialDelay(4.0, minimum=1.0)
+    samples = [d.sample(0, 1, rng) for _ in range(5000)]
+    assert all(s >= 1.0 for s in samples)
+    assert d.mean() == 5.0
+    assert abs(sum(samples) / len(samples) - 5.0) < 0.3
+
+
+def test_exponential_delay_validation():
+    with pytest.raises(ValueError):
+        ExponentialDelay(0.0)
+    with pytest.raises(ValueError):
+        ExponentialDelay(1.0, minimum=-0.1)
+
+
+def test_jittered_delay_scalar_base(rng):
+    d = JitteredDelay(5.0, 2.0)
+    samples = [d.sample(0, 1, rng) for _ in range(1000)]
+    assert all(3.0 <= s <= 7.0 for s in samples)
+    assert d.mean() == 5.0
+
+
+def test_jittered_delay_clips_at_zero(rng):
+    d = JitteredDelay(1.0, 5.0)
+    samples = [d.sample(0, 1, rng) for _ in range(500)]
+    assert all(s >= 0.0 for s in samples)
+
+
+def test_jittered_delay_callable_base(rng):
+    latency = lambda src, dst: 10.0 if (src, dst) == (0, 1) else 2.0
+    d = JitteredDelay(latency, 0.0)
+    assert d.sample(0, 1, rng) == 10.0
+    assert d.sample(1, 0, rng) == 2.0
+    with pytest.raises(NotImplementedError):
+        d.mean()
+
+
+def test_jitter_enables_reordering(rng):
+    """Two consecutive sends may arrive out of order — the property
+    the non-FIFO experiments rely on."""
+    d = UniformDelay(1.0, 9.0)
+    reordered = False
+    last = None
+    t = 0.0
+    for _ in range(200):
+        arrival = t + d.sample(0, 1, rng)
+        if last is not None and arrival < last:
+            reordered = True
+            break
+        last = arrival
+        t += 0.5
+    assert reordered

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public contract (README links them); a
+refactor that breaks one should fail the suite, not a user.  Run as
+subprocesses so each example exercises the real import path.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    expected = {
+        "quickstart.py",
+        "distributed_lock_service.py",
+        "algorithm_comparison.py",
+        "nonfifo_resilience.py",
+        "trace_walkthrough.py",
+        "tcp_cluster.py",
+        "crash_recovery.py",
+        "topology_latencies.py",
+    }
+    assert expected <= set(ALL_EXAMPLES)
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{name} produced no output"

@@ -1,0 +1,85 @@
+"""Tests for the experiment harness (small parameterizations)."""
+
+import math
+
+from repro.experiments import (
+    burst_sweep,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    lambda_sweep,
+    render_figure,
+    render_rows,
+    theory_table,
+)
+
+SMALL_NS = (5, 10)
+SMALL_SEEDS = (0, 1)
+SMALL_ALGOS = ("rcv", "broadcast")
+
+
+def test_burst_sweep_shapes():
+    results = burst_sweep(SMALL_NS, SMALL_ALGOS, SMALL_SEEDS)
+    assert set(results) == set(SMALL_ALGOS)
+    for per_n in results.values():
+        assert set(per_n) == set(SMALL_NS)
+        for runs in per_n.values():
+            assert len(runs) == len(SMALL_SEEDS)
+            assert all(r.all_completed() for r in runs)
+
+
+def test_figures_4_and_5_share_sweep():
+    shared = burst_sweep(SMALL_NS, SMALL_ALGOS, SMALL_SEEDS)
+    f4 = figure4(SMALL_NS, SMALL_ALGOS, SMALL_SEEDS, _shared=shared)
+    f5 = figure5(SMALL_NS, SMALL_ALGOS, SMALL_SEEDS, _shared=shared)
+    assert f4.x == list(SMALL_NS) and f5.x == list(SMALL_NS)
+    for fig in (f4, f5):
+        assert set(fig.series) == set(SMALL_ALGOS)
+        for values in fig.series.values():
+            assert len(values) == len(SMALL_NS)
+            assert all(not math.isnan(v.mean) for v in values)
+
+
+def test_figure4_rcv_beats_ricart_at_scale():
+    """The paper's headline Figure 4 shape."""
+    f4 = figure4((20,), ("rcv", "ricart_agrawala"), (0, 1, 2))
+    rcv = f4.series["rcv"][0].mean
+    ra = f4.series["ricart_agrawala"][0].mean
+    assert rcv < ra
+
+
+def test_figure6_and_7_shapes():
+    shared = lambda_sweep(
+        (2, 10), SMALL_ALGOS, n_nodes=8, seeds=(0,), horizon=3_000
+    )
+    f6 = figure6((2, 10), SMALL_ALGOS, 8, (0,), 3_000, _shared=shared)
+    f7 = figure7((2, 10), SMALL_ALGOS, 8, (0,), 3_000, _shared=shared)
+    assert f6.x == [2.0, 10.0]
+    for fig in (f6, f7):
+        for values in fig.series.values():
+            assert all(v.n >= 1 for v in values)
+
+
+def test_render_figure_contains_series_and_x():
+    f4 = figure4((5,), ("rcv",), (0,))
+    text = render_figure(f4)
+    assert "Figure 4" in text and "rcv" in text and "5" in text
+
+
+def test_render_rows_alignment_and_empty():
+    rows = [{"a": 1, "b": "xy"}, {"a": 22.5, "c": True}]
+    text = render_rows(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1] and "c" in lines[1]
+    assert "22.50" in text and "yes" in text
+    assert "(no data)" in render_rows([], title="x")
+
+
+def test_theory_table_rows():
+    rows = theory_table(n_values=(9,), algorithms=("rcv", "maekawa"), seeds=(0,))
+    assert len(rows) == 2
+    for row in rows:
+        assert row["nme ok"], row
+        assert row["sync ok"], row

@@ -1,0 +1,85 @@
+"""Tests for the MutexNode state machine and hooks."""
+
+import pytest
+
+from repro.mutex.base import Hooks, MutexNode, NodeState
+from tests.conftest import make_harness
+
+
+class ToyMutex(MutexNode):
+    """Grants itself immediately; the minimal conforming algorithm."""
+
+    algorithm_name = "toy"
+
+    def _do_request(self):
+        self._grant()
+
+    def _do_release(self):
+        pass
+
+    def on_message(self, src, message):
+        pass
+
+
+def test_request_grant_release_cycle():
+    h = make_harness()
+    (node,) = h.add_nodes(ToyMutex, 1)
+    assert node.state is NodeState.IDLE
+    node.request_cs()
+    assert node.state is NodeState.IN_CS
+    node.release_cs()
+    assert node.state is NodeState.IDLE
+    assert node.cs_count == 1
+
+
+def test_double_request_rejected():
+    h = make_harness()
+    (node,) = h.add_nodes(ToyMutex, 1)
+    node.request_cs()
+    with pytest.raises(RuntimeError, match="requested CS while"):
+        node.request_cs()
+
+
+def test_release_without_cs_rejected():
+    h = make_harness()
+    (node,) = h.add_nodes(ToyMutex, 1)
+    with pytest.raises(RuntimeError, match="released CS while"):
+        node.release_cs()
+
+
+def test_grant_while_idle_rejected():
+    h = make_harness()
+    (node,) = h.add_nodes(ToyMutex, 1)
+    with pytest.raises(RuntimeError, match="granted CS while"):
+        node._grant()
+
+
+def test_node_id_bounds_checked():
+    h = make_harness()
+    with pytest.raises(ValueError):
+        ToyMutex(5, 3, h.env, h.hooks)
+
+
+def test_hooks_fan_out_to_all_subscribers():
+    hooks = Hooks()
+    got = []
+    hooks.subscribe_granted(lambda n: got.append(("g1", n)))
+    hooks.subscribe_granted(lambda n: got.append(("g2", n)))
+    hooks.subscribe_released(lambda n: got.append(("r", n)))
+    hooks.on_granted(3)
+    hooks.on_released(3)
+    assert got == [("g1", 3), ("g2", 3), ("r", 3)]
+
+
+def test_request_time_recorded():
+    h = make_harness()
+    (node,) = h.add_nodes(ToyMutex, 1)
+    h.sim.schedule(7.5, node.request_cs)
+    h.run()
+    assert node.request_time == 7.5
+
+
+def test_peers_excludes_self():
+    h = make_harness()
+    nodes = h.add_nodes(ToyMutex, 4)
+    assert sorted(nodes[2].peers()) == [0, 1, 3]

@@ -1,0 +1,141 @@
+"""Tests for the message-delivery fabric."""
+
+import pytest
+
+from repro.net.delay import ConstantDelay
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import Actor
+
+
+class Probe(Actor):
+    def __init__(self, actor_id):
+        super().__init__(actor_id)
+        self.received = []
+
+    def deliver(self, src, message):
+        self.received.append((src, message))
+
+
+class Ping(Message):
+    kind = "PING"
+    __slots__ = ()
+
+
+class Pong(Message):
+    kind = "PONG"
+    __slots__ = ()
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, delay_model=ConstantDelay(5.0))
+    actors = [Probe(i) for i in range(3)]
+    for a in actors:
+        net.register(a)
+    return sim, net, actors
+
+
+def test_delivery_after_delay(world):
+    sim, net, actors = world
+    net.send(0, 1, Ping())
+    assert actors[1].received == []
+    sim.run()
+    assert sim.now == 5.0
+    assert len(actors[1].received) == 1
+    assert actors[1].received[0][0] == 0
+
+
+def test_duplicate_registration_rejected(world):
+    _, net, _ = world
+    with pytest.raises(ValueError):
+        net.register(Probe(0))
+
+
+def test_unknown_destination(world):
+    _, net, _ = world
+    with pytest.raises(KeyError):
+        net.send(0, 99, Ping())
+
+
+def test_self_send_rejected(world):
+    _, net, _ = world
+    with pytest.raises(ValueError):
+        net.send(1, 1, Ping())
+
+
+def test_stats_count_by_kind(world):
+    sim, net, _ = world
+    net.send(0, 1, Ping())
+    net.send(0, 2, Ping())
+    net.send(1, 0, Pong())
+    sim.run()
+    assert net.stats.sent_total == 3
+    assert net.stats.delivered_total == 3
+    assert net.stats.by_kind == {"PING": 2, "PONG": 1}
+
+
+def test_stats_snapshot_is_independent(world):
+    sim, net, _ = world
+    net.send(0, 1, Ping())
+    snap = net.stats.snapshot()
+    net.send(0, 1, Ping())
+    assert snap.sent_total == 1
+    assert net.stats.sent_total == 2
+
+
+def test_taps_observe_sends(world):
+    sim, net, _ = world
+    seen = []
+    net.add_tap(lambda src, dst, msg, at: seen.append((src, dst, msg.kind, at)))
+    net.send(0, 2, Ping())
+    assert seen == [(0, 2, "PING", 5.0)]
+
+
+def test_partition_drops_and_heal_restores(world):
+    sim, net, actors = world
+    net.partition(0, 1)
+    net.send(0, 1, Ping())
+    net.send(1, 0, Ping())  # both directions blocked
+    sim.run()
+    assert actors[0].received == [] and actors[1].received == []
+    # Partitioned sends still count as sent (they left the node).
+    assert net.stats.sent_total == 2
+    net.heal(0, 1)
+    net.send(0, 1, Ping())
+    sim.run()
+    assert len(actors[1].received) == 1
+
+
+def test_broadcast_builds_one_message_per_peer(world):
+    sim, net, actors = world
+    built = []
+
+    def factory(dst):
+        m = Ping()
+        built.append((dst, m))
+        return m
+
+    count = net.broadcast(0, factory)
+    assert count == 2
+    assert sorted(d for d, _ in built) == [1, 2]
+    msgs = [m for _, m in built]
+    assert msgs[0] is not msgs[1]  # no shared payload across copies
+    sim.run()
+    assert len(actors[1].received) == 1 and len(actors[2].received) == 1
+
+
+def test_weighted_units_accumulate(world):
+    class Fat(Message):
+        kind = "FAT"
+        __slots__ = ()
+
+        def size_units(self):
+            return 10
+
+    sim, net, _ = world
+    net.send(0, 1, Fat())
+    net.send(0, 1, Ping())
+    assert net.stats.weighted_units == 11

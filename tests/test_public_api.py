@@ -1,0 +1,71 @@
+"""Public-API surface tests: the names README documents must exist
+and the package must import cleanly with a consistent __all__."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.mutex",
+    "repro.core",
+    "repro.baselines",
+    "repro.quorums",
+    "repro.workload",
+    "repro.metrics",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.runtime",
+    "repro.trace",
+    "repro.registry",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports_and_all_is_consistent(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    exported = getattr(module, "__all__", None)
+    if exported is not None:
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_readme_quickstart_names_exist():
+    import repro
+
+    for name in (
+        "Scenario",
+        "BurstArrivals",
+        "PoissonArrivals",
+        "run_scenario",
+        "RCVConfig",
+        "RCVNode",
+        "Topology",
+        "MatrixDelay",
+        "register_algorithm",
+        "__version__",
+    ):
+        assert hasattr(repro, name), name
+
+
+def test_runtime_names_exist():
+    from repro.runtime import LocalCluster, TcpCluster  # noqa: F401
+
+
+def test_version_is_semver_like():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_all_registered_algorithms_resolve():
+    from repro.registry import algorithm_names, get_algorithm
+
+    for name in algorithm_names():
+        factory = get_algorithm(name)
+        assert callable(factory), name

@@ -1,0 +1,122 @@
+"""Deep verification: the paper's lemmas checked across the whole
+replicated state while scenarios run (core/verification.py)."""
+
+import pytest
+
+from repro.core import RCVConfig, RCVNode
+from repro.core.errors import ProtocolInvariantError
+from repro.core.tuples import ReqTuple
+from repro.core.verification import (
+    LemmaMonitor,
+    check_system,
+    merge_global_order,
+)
+from repro.net.delay import UniformDelay
+from tests.conftest import make_harness
+
+
+def T(node, ts=1):
+    return ReqTuple(node, ts)
+
+
+# ----------------------------------------------------------------------
+# merge_global_order
+# ----------------------------------------------------------------------
+def test_merge_consistent_orders():
+    merged = merge_global_order([[T(1), T(2)], [T(2), T(3)], []])
+    assert merged == [T(1), T(2), T(3)]
+
+
+def test_merge_detects_conflict():
+    assert merge_global_order([[T(1), T(2)], [T(2), T(1)]]) is None
+
+
+def test_merge_disjoint_lists():
+    merged = merge_global_order([[T(1)], [T(2)]])
+    assert merged is not None
+    assert set(merged) == {T(1), T(2)}
+
+
+def test_merge_empty():
+    assert merge_global_order([]) == []
+
+
+# ----------------------------------------------------------------------
+# check_system
+# ----------------------------------------------------------------------
+def _world(n=4, **cfg):
+    h = make_harness(seed=3)
+    config = RCVConfig(**cfg) if cfg else None
+    h.add_nodes(RCVNode, n, **({"config": config} if config else {}))
+    return h
+
+
+def test_check_system_passes_on_fresh_world():
+    h = _world()
+    check_system(h.nodes)
+
+
+def test_check_system_catches_lemma7_violation():
+    h = _world()
+    h.nodes[0].si.nonl = [T(1), T(2)]
+    h.nodes[1].si.nonl = [T(2), T(1)]
+    with pytest.raises(ProtocolInvariantError, match="Lemma 7"):
+        check_system(h.nodes)
+
+
+def test_check_system_catches_lemma1_violation():
+    h = _world()
+    h.nodes[0].si.rows[2].mnl = [T(1, 1), T(1, 3)]
+    with pytest.raises(ProtocolInvariantError, match="Lemma 1"):
+        check_system(h.nodes)
+
+
+# ----------------------------------------------------------------------
+# LemmaMonitor during live runs
+# ----------------------------------------------------------------------
+def _run_monitored(n, seed, requesters=None, delay_model=None, period=1.0):
+    h = make_harness(seed=seed)
+    if delay_model is not None:
+        h.network.delay_model = delay_model
+    h.add_nodes(RCVNode, n)
+    h.auto_release_after(10.0)
+    monitor = LemmaMonitor(h.sim, h.nodes, period=period)
+    monitor.start()
+    for i in requesters if requesters is not None else range(n):
+        h.request(i)
+    h.run()
+    return h, monitor
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_burst_obeys_lemmas_throughout(seed):
+    h, monitor = _run_monitored(10, seed)
+    assert monitor.checks > 10  # actually sampled during activity
+    assert all(node.cs_count == 1 for node in h.nodes)
+
+
+def test_reordering_network_obeys_lemmas():
+    h, monitor = _run_monitored(
+        8, 2, delay_model=UniformDelay(1.0, 9.0), period=0.5
+    )
+    assert monitor.checks > 5
+    assert all(node.cs_count == 1 for node in h.nodes)
+
+
+def test_monitor_validates_period():
+    h = _world()
+    with pytest.raises(ValueError):
+        LemmaMonitor(h.sim, h.nodes, period=0.0)
+
+
+def test_commit_ledger_detects_cross_time_reversal():
+    """A reversal that instantaneous pairwise checks would miss: the
+    conflicting NONLs are never visible in the same snapshot."""
+    h = _world()
+    monitor = LemmaMonitor(h.sim, h.nodes, period=1.0)
+    h.nodes[0].si.nonl = [T(1), T(2)]
+    monitor.check_now()  # ledger: 1 before 2
+    h.nodes[0].si.nonl = []
+    h.nodes[1].si.nonl = [T(2), T(1)]  # later, the opposite order
+    with pytest.raises(ProtocolInvariantError, match="ledger|reversed"):
+        monitor.check_now()

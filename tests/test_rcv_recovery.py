@@ -1,0 +1,116 @@
+"""Tests for the RM-regeneration recovery extension (RCVConfig.rm_timeout).
+
+This is the fault-tolerance machinery the paper defers (§3): a home
+whose request is still pending after a timeout relaunches its RM with
+the same tuple.  It converts the F3 black-hole failure (a crashed node
+swallows the one roaming RM) into a bounded delay, while staying a
+no-op on healthy networks.
+"""
+
+import pytest
+
+from repro.core import RCVConfig, RCVNode
+from repro.mutex.base import NodeState
+from repro.workload import BurstArrivals, PoissonArrivals, Scenario, run_scenario
+from tests.conftest import make_harness
+
+
+def test_config_validates_timeout():
+    with pytest.raises(ValueError):
+        RCVConfig(rm_timeout=0.0)
+    with pytest.raises(ValueError):
+        RCVConfig(rm_timeout=-5.0)
+    assert RCVConfig(rm_timeout=100.0).rm_timeout == 100.0
+
+
+def test_no_relaunch_on_healthy_network():
+    """With a generous timeout, recovery must never fire."""
+    result = run_scenario(
+        Scenario(
+            algorithm="rcv",
+            n_nodes=12,
+            arrivals=BurstArrivals(requests_per_node=2),
+            seed=3,
+            algo_kwargs={"config": RCVConfig(rm_timeout=2_000.0)},
+        )
+    )
+    assert result.completed_count == 24
+    assert result.extra["rm_relaunched"] == 0
+
+
+def test_relaunch_recovers_swallowed_rm():
+    """The F3 scenario, fixed: a crashed idle node eats RMs; every
+    seed now completes because the home relaunches."""
+    for seed in range(12):
+        h = make_harness(seed=seed)
+        h.add_nodes(RCVNode, 10, config=RCVConfig(rm_timeout=100.0))
+        h.auto_release_after(10.0)
+        h.network.fail_node(9)
+        h.request(0)
+        h.run(until=5_000)
+        assert h.nodes[0].cs_count == 1, f"seed {seed} did not recover"
+        assert h.safety.entries == h.safety.exits
+
+
+def test_relaunch_counter_reflects_retries():
+    # Force at least one relaunch: crash a node certain to be hit by
+    # picking a seed that dies without recovery (seed 1 per the
+    # resilience test diagnostics).
+    h = make_harness(seed=1)
+    h.add_nodes(RCVNode, 10, config=RCVConfig(rm_timeout=100.0))
+    h.auto_release_after(10.0)
+    h.network.fail_node(9)
+    h.request(0)
+    h.run(until=5_000)
+    assert h.nodes[0].cs_count == 1
+    total_relaunches = sum(n.counters["rm_relaunched"] for n in h.nodes)
+    assert total_relaunches >= 1
+
+
+def test_duplicate_rms_are_harmless():
+    """An aggressive timeout fires while the original RM is alive and
+    well: duplicates must not double-grant or corrupt the order."""
+    for seed in range(5):
+        result = run_scenario(
+            Scenario(
+                algorithm="rcv",
+                n_nodes=10,
+                arrivals=BurstArrivals(),
+                seed=seed,
+                # shorter than the burst's natural response time
+                algo_kwargs={"config": RCVConfig(rm_timeout=20.0)},
+            )
+        )
+        assert result.completed_count == 10
+        assert result.extra["nonl_inconsistencies"] == 0
+        assert result.extra["rm_relaunched"] >= 1  # it did fire
+
+
+def test_duplicates_under_sustained_load():
+    result = run_scenario(
+        Scenario(
+            algorithm="rcv",
+            n_nodes=8,
+            arrivals=PoissonArrivals(rate=1 / 6.0),
+            seed=7,
+            issue_deadline=2_000,
+            drain_deadline=10_000,
+            algo_kwargs={"config": RCVConfig(rm_timeout=30.0)},
+        )
+    )
+    assert result.all_completed()
+    assert result.extra["nonl_inconsistencies"] == 0
+
+
+def test_timer_cancelled_on_grant():
+    h = make_harness(seed=0)
+    h.add_nodes(RCVNode, 4, config=RCVConfig(rm_timeout=500.0))
+    h.auto_release_after(10.0)
+    h.request(0)
+    h.run()
+    node = h.nodes[0]
+    assert node.cs_count == 1
+    assert node.state is NodeState.IDLE
+    assert node.counters["rm_relaunched"] == 0
+    # No stray timer left: the sim drained completely.
+    assert h.sim._peek_time() is None

@@ -1,0 +1,131 @@
+"""Tests for the asyncio runtime (local and TCP clusters)."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import LocalCluster, TcpCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# LocalCluster
+# ----------------------------------------------------------------------
+def test_local_cluster_single_lock_cycle():
+    async def go():
+        async with LocalCluster(3, algorithm="rcv", seed=1) as c:
+            await c.acquire(1, timeout=5)
+            c.release(1)
+            return c.messages_sent
+
+    assert run(go()) > 0
+
+
+@pytest.mark.parametrize("algorithm", ["rcv", "ricart_agrawala", "suzuki_kasami"])
+def test_local_cluster_serializes_critical_sections(algorithm):
+    async def go():
+        overlaps = []
+        inside = [0]
+
+        async def worker(c, i):
+            for _ in range(3):
+                async with c.lock(i, timeout=10):
+                    inside[0] += 1
+                    if inside[0] > 1:
+                        overlaps.append(i)
+                    await asyncio.sleep(0.001)
+                    inside[0] -= 1
+
+        async with LocalCluster(4, algorithm=algorithm, seed=2) as c:
+            await asyncio.gather(*(worker(c, i) for i in range(4)))
+        return overlaps
+
+    assert run(go()) == []
+
+
+def test_local_cluster_nonfifo_jitter():
+    async def go():
+        done = []
+
+        async def worker(c, i):
+            async with c.lock(i, timeout=10):
+                done.append(i)
+
+        async with LocalCluster(
+            5, algorithm="rcv", delay=0.003, jitter=0.002, seed=9
+        ) as c:
+            await asyncio.gather(*(worker(c, i) for i in range(5)))
+        return done
+
+    assert sorted(run(go())) == [0, 1, 2, 3, 4]
+
+
+def test_local_cluster_validates_jitter():
+    with pytest.raises(ValueError):
+        LocalCluster(2, jitter=0.5, delay=0.1)
+
+
+def test_local_cluster_lock_releases_on_exception():
+    async def go():
+        async with LocalCluster(2, algorithm="rcv", seed=0) as c:
+            with pytest.raises(RuntimeError):
+                async with c.lock(0, timeout=5):
+                    raise RuntimeError("inside CS")
+            # lock must be free again
+            await c.acquire(1, timeout=5)
+            c.release(1)
+
+    run(go())
+
+
+def test_local_cluster_immediate_grant_path():
+    """The token holder (suzuki node 0) is granted synchronously."""
+
+    async def go():
+        async with LocalCluster(3, algorithm="suzuki_kasami", seed=0) as c:
+            await c.acquire(0, timeout=1)
+            c.release(0)
+
+    run(go())
+
+
+# ----------------------------------------------------------------------
+# TcpCluster
+# ----------------------------------------------------------------------
+def test_tcp_cluster_mutual_exclusion():
+    async def go():
+        inside = [0]
+        overlaps = []
+
+        async def worker(c, i):
+            async with c.lock(i, timeout=20):
+                inside[0] += 1
+                if inside[0] > 1:
+                    overlaps.append(i)
+                await asyncio.sleep(0.002)
+                inside[0] -= 1
+
+        async with TcpCluster(3, algorithm="rcv", seed=4) as c:
+            await asyncio.gather(*(worker(c, i) for i in range(3)))
+        return overlaps
+
+    assert run(go()) == []
+
+
+def test_tcp_cluster_repeated_rounds():
+    async def go():
+        count = [0]
+
+        async def worker(c, i):
+            for _ in range(2):
+                async with c.lock(i, timeout=20):
+                    count[0] += 1
+
+        async with TcpCluster(3, algorithm="ricart_agrawala", seed=5) as c:
+            await asyncio.gather(*(worker(c, i) for i in range(3)))
+        return count[0]
+
+    assert run(go()) == 6

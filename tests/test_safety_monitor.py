@@ -1,0 +1,73 @@
+"""Tests for the runtime mutual-exclusion monitor."""
+
+import pytest
+
+from repro.metrics.safety import MutualExclusionViolation, SafetyMonitor
+
+
+def make_monitor(waiting=True):
+    t = [0.0]
+    mon = SafetyMonitor(lambda: t[0], waiting_probe=lambda: waiting)
+    return t, mon
+
+
+def test_clean_alternation_passes():
+    t, mon = make_monitor()
+    mon.on_granted(0)
+    t[0] = 10.0
+    mon.on_released(0)
+    t[0] = 15.0
+    mon.on_granted(1)
+    assert mon.entries == 2 and mon.exits == 1
+    assert mon.holder == 1
+
+
+def test_overlap_raises_with_both_ids():
+    _, mon = make_monitor()
+    mon.on_granted(0)
+    with pytest.raises(MutualExclusionViolation, match="node 1.*node 0"):
+        mon.on_granted(1)
+
+
+def test_wrong_releaser_raises():
+    _, mon = make_monitor()
+    mon.on_granted(0)
+    with pytest.raises(MutualExclusionViolation):
+        mon.on_released(1)
+
+
+def test_release_without_holder_raises():
+    _, mon = make_monitor()
+    with pytest.raises(MutualExclusionViolation):
+        mon.on_released(0)
+
+
+def test_sync_delay_measured_between_release_and_next_grant():
+    t, mon = make_monitor(waiting=True)
+    mon.on_granted(0)
+    t[0] = 10.0
+    mon.on_released(0)
+    t[0] = 15.0
+    mon.on_granted(1)
+    assert mon.sync_delays == [5.0]
+
+
+def test_sync_delay_skipped_when_no_waiters():
+    t = [0.0]
+    waiting = [False]
+    mon = SafetyMonitor(lambda: t[0], waiting_probe=lambda: waiting[0])
+    mon.on_granted(0)
+    t[0] = 10.0
+    mon.on_released(0)  # nobody waiting: the idle gap is not sync delay
+    t[0] = 100.0
+    mon.on_granted(1)
+    assert mon.sync_delays == []
+
+
+def test_grant_log_records_order():
+    t, mon = make_monitor()
+    mon.on_granted(2)
+    t[0] = 10.0
+    mon.on_released(2)
+    mon.on_granted(0)
+    assert [n for _, n in mon.grant_log] == [2, 0]

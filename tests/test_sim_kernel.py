@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    EventBudgetExceeded,
+    Handle,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.events_run == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_equal_times_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(1.0, lambda tag=tag: fired.append(tag))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_tie_parameter_overrides_insertion_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("late"), tie=5)
+    sim.schedule(1.0, lambda: fired.append("early"), tie=1)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(2.0, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+def test_zero_delay_event_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [1.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    times = []
+    sim.schedule_at(2.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5]
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    assert handle.active
+    handle.cancel()
+    assert handle.cancelled and not handle.active
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_run_until_stops_and_advances_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()  # resume: remaining event still fires
+    assert fired == [1, 10]
+
+
+def test_run_until_exact_boundary_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == [1]
+
+
+def test_event_budget_exceeded():
+    sim = Simulator(max_events=10)
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(EventBudgetExceeded):
+        sim.run()
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_drain_cancelled_compacts_heap():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for h in handles[:7]:
+        h.cancel()
+    removed = sim.drain_cancelled()
+    assert removed == 7
+    assert sim.pending == 3
+
+
+def test_trace_callback_invoked_with_labels():
+    seen = []
+    sim = Simulator(trace=lambda t, label: seen.append((t, label)))
+    sim.schedule(1.0, lambda: None, label="x")
+    sim.run()
+    assert seen == [(1.0, "x")]
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def recurse():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, recurse)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_callback_exception_propagates_and_time_is_set():
+    sim = Simulator()
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(2.0, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert sim.now == 2.0

@@ -1,0 +1,81 @@
+"""Tests for latency topologies."""
+
+import pytest
+
+from repro.net.topology import LatencyMatrix, Topology
+
+
+def test_complete_topology_uniform():
+    m = Topology.complete(4, latency=5.0)
+    for i in range(4):
+        for j in range(4):
+            assert m(i, j) == (0.0 if i == j else 5.0)
+    assert m.mean_offdiagonal() == 5.0
+    assert m.max_latency() == 5.0
+
+
+def test_single_node_mean_is_zero():
+    m = Topology.complete(1)
+    assert m.mean_offdiagonal() == 0.0
+
+
+def test_ring_shortest_paths():
+    m = Topology.ring(6, hop_latency=1.0)
+    assert m(0, 1) == 1.0
+    assert m(0, 3) == 3.0  # opposite side: 3 hops either way
+    assert m(0, 5) == 1.0  # wraps around
+    assert m(2, 4) == 2.0
+
+
+def test_star_two_spokes_between_leaves():
+    m = Topology.star(5, center=0, spoke_latency=2.5)
+    assert m(0, 3) == 2.5
+    assert m(1, 4) == 5.0
+
+
+def test_from_edges_uses_min_parallel_edge():
+    m = Topology.from_edges(2, [(0, 1, 10.0), (0, 1, 3.0)])
+    assert m(0, 1) == 3.0
+
+
+def test_from_edges_disconnected_raises_without_default():
+    with pytest.raises(ValueError, match="disconnected"):
+        Topology.from_edges(3, [(0, 1, 1.0)])
+
+
+def test_from_edges_disconnected_uses_default():
+    m = Topology.from_edges(3, [(0, 1, 1.0)], default=99.0)
+    assert m(0, 2) == 99.0
+
+
+def test_from_edges_validates_range_and_weight():
+    with pytest.raises(ValueError):
+        Topology.from_edges(2, [(0, 5, 1.0)])
+    with pytest.raises(ValueError):
+        Topology.from_edges(2, [(0, 1, -1.0)])
+
+
+def test_latency_matrix_validation():
+    with pytest.raises(ValueError):
+        LatencyMatrix(2, [[0.0, 1.0]])  # wrong shape
+    with pytest.raises(ValueError):
+        LatencyMatrix(2, [[1.0, 1.0], [1.0, 0.0]])  # nonzero diagonal
+    with pytest.raises(ValueError):
+        LatencyMatrix(2, [[0.0, -1.0], [1.0, 0.0]])  # negative
+
+
+def test_triangle_inequality_via_floyd_warshall():
+    # Direct edge 0-2 is expensive; the path through 1 must win.
+    m = Topology.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+    assert m(0, 2) == 2.0
+
+
+def test_random_geometric_connected_and_symmetric():
+    nx = pytest.importorskip("networkx")  # noqa: F841
+    m = Topology.random_geometric(12, radius=0.6, seed=1)
+    for i in range(12):
+        assert m(i, i) == 0.0
+        for j in range(12):
+            assert m(i, j) == m(j, i)
+            if i != j:
+                assert m(i, j) > 0.0
