@@ -6,7 +6,28 @@ These benches time them in isolation so regressions in substrate
 performance are visible independently of experiment content, and they
 justify the data-structure choices (plain lists/tuples at N≤50 —
 measured here, not assumed).
+
+Since the unified-engine refactor the kernel has two scheduling
+modes, and this file measures **both** so a future PR cannot
+silently regress either:
+
+* ``legacy`` — ``Simulator.schedule``: cancellable ``Handle`` per
+  event, trace label support;
+* ``fast`` — ``Simulator.schedule_fast``: fire-once plain-tuple
+  entries (the path network delivery and the workload drivers use).
+
+Run as a script to (re)generate ``BENCH_engine.json``::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --json BENCH_engine.json
+
+which records events/sec for both modes, the fast/legacy ratio, an
+end-to-end fig4-style burst sweep timing, and — when the seed commit
+is reachable in git history — the seed kernel measured live in the
+same process for an apples-to-apples ratio.
 """
+
+import json
+import time
 
 from repro.core.exchange import exchange
 from repro.core.order import run_order
@@ -15,9 +36,53 @@ from repro.core.tuples import ReqTuple
 from repro.sim.kernel import Simulator
 from repro.workload import BurstArrivals, Scenario, run_scenario
 
+#: chain length used by the events/sec measurements
+CHAIN_EVENTS = 100_000
+
+
+# ----------------------------------------------------------------------
+# events/sec measurement helpers (shared by the pytest benches, the
+# regression guard, and the JSON report)
+# ----------------------------------------------------------------------
+def _run_chain(schedule, run, n):
+    """Schedule+run ``n`` chained events through ``schedule``."""
+    remaining = n
+
+    def tick():
+        nonlocal remaining
+        if remaining > 0:
+            remaining -= 1
+            schedule(1.0, tick)
+
+    schedule(1.0, tick)
+    start = time.perf_counter()
+    run()
+    elapsed = time.perf_counter() - start
+    return (n + 1) / elapsed
+
+
+def events_per_sec(mode, n=CHAIN_EVENTS, repeats=5, simulator_cls=Simulator):
+    """Best-of-``repeats`` events/sec for a kernel scheduling mode.
+
+    ``mode`` is ``"fast"`` (handle-free tuples) or ``"legacy"``
+    (cancellable handles).  ``simulator_cls`` lets the JSON report
+    benchmark a historical kernel class in the same process.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        sim = simulator_cls()
+        if mode == "fast":
+            schedule = sim.schedule_fast
+        elif mode == "legacy":
+            schedule = sim.schedule
+        else:
+            raise ValueError(f"unknown kernel mode {mode!r}")
+        best = max(best, _run_chain(schedule, sim.run, n))
+    return best
+
 
 def test_event_heap_throughput(benchmark):
-    """Schedule+run 10k chained events."""
+    """Schedule+run 10k chained events (legacy-handle mode)."""
 
     def run_chain():
         sim = Simulator()
@@ -34,6 +99,45 @@ def test_event_heap_throughput(benchmark):
 
     events = benchmark(run_chain)
     assert events == 10_001
+
+
+def test_event_heap_throughput_fast(benchmark):
+    """Schedule+run 10k chained events (handle-free fast mode)."""
+
+    def run_chain():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.schedule_fast(1.0, tick)
+
+        sim.schedule_fast(1.0, tick)
+        sim.run()
+        return sim.events_run
+
+    events = benchmark(run_chain)
+    assert events == 10_001
+
+
+def test_fast_mode_beats_legacy_mode():
+    """Regression guard: the fast path must stay meaningfully ahead.
+
+    The measured gap is ~2.5x; asserting a conservative 1.2x keeps
+    the guard robust to noisy CI machines while still catching any
+    change that collapses the two paths back together.
+    """
+    legacy = events_per_sec("legacy", n=50_000)
+    fast = events_per_sec("fast", n=50_000)
+    print(
+        f"\nkernel events/sec: legacy={legacy:,.0f} fast={fast:,.0f} "
+        f"ratio={fast / legacy:.2f}x"
+    )
+    assert fast > legacy * 1.2, (
+        f"fast path ({fast:,.0f} ev/s) no longer meaningfully faster "
+        f"than legacy ({legacy:,.0f} ev/s)"
+    )
 
 
 def _busy_si(n=30, competitors=10):
@@ -71,3 +175,195 @@ def test_end_to_end_burst_n30(benchmark):
         ).completed_count
 
     assert benchmark(run) == 30
+
+
+# ----------------------------------------------------------------------
+# BENCH_engine.json report
+# ----------------------------------------------------------------------
+def _fig4_sweep_seconds(repeats=3):
+    """End-to-end burst sweep (rcv, N=5..30, 3 seeds), best of N."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for n in (5, 10, 20, 30):
+            for seed in (0, 1, 2):
+                run_scenario(
+                    Scenario(
+                        algorithm="rcv",
+                        n_nodes=n,
+                        arrivals=BurstArrivals(),
+                        seed=seed,
+                    )
+                )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _seed_root_commit():
+    import subprocess
+
+    def _git(*args):
+        return subprocess.run(
+            ["git", *args], capture_output=True, text=True, check=True
+        ).stdout.strip()
+
+    try:
+        # In a shallow clone, rev-list's "root" is the truncation
+        # boundary — benchmarking that would compare the current code
+        # against itself and publish bogus ratios.  Bail out instead.
+        if _git("rev-parse", "--is-shallow-repository") == "true":
+            return None
+        root = _git("rev-list", "--max-parents=0", "HEAD").split()[0]
+        if root == _git("rev-parse", "HEAD"):
+            return None  # sitting on the seed commit: nothing to compare
+        return root
+    except (OSError, subprocess.SubprocessError, IndexError):
+        return None
+
+
+def _seed_kernel_events_per_sec():
+    """Measure the pre-refactor (seed commit) kernel live, if git has it.
+
+    Returns None outside a git checkout (e.g. an sdist) — the report
+    then simply omits the seed comparison.
+    """
+    import importlib.util
+    import subprocess
+    import tempfile
+
+    import os
+
+    root_commit = _seed_root_commit()
+    if root_commit is None:
+        return None
+    try:
+        source = subprocess.run(
+            ["git", "show", f"{root_commit}:src/repro/sim/kernel.py"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+    with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as fh:
+        fh.write(source)
+        path = fh.name
+    try:
+        spec = importlib.util.spec_from_file_location("seed_kernel", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return events_per_sec("legacy", simulator_cls=module.Simulator)
+    except Exception as exc:  # incompatible historical kernel: skip, don't crash
+        import sys
+
+        print(f"seed kernel comparison skipped: {exc}", file=sys.stderr)
+        return None
+    finally:
+        os.unlink(path)
+
+
+def _seed_fig4_sweep_seconds():
+    """Time the same burst sweep on the seed tree (via ``git archive``).
+
+    Returns None when the seed tree cannot be reconstructed.  The
+    sweep runs in a subprocess with PYTHONPATH pointing at the
+    extracted seed sources, so the comparison is end-to-end honest.
+    """
+    import os
+    import subprocess
+    import sys
+    import tarfile
+    import tempfile
+    from pathlib import Path
+
+    root_commit = _seed_root_commit()
+    if root_commit is None:
+        return None
+    script = (
+        "import time\n"
+        "from repro.workload import BurstArrivals, Scenario, run_scenario\n"
+        "best = float('inf')\n"
+        "for _ in range(3):\n"
+        "    start = time.perf_counter()\n"
+        "    for n in (5, 10, 20, 30):\n"
+        "        for seed in (0, 1, 2):\n"
+        "            run_scenario(Scenario(algorithm='rcv', n_nodes=n,"
+        " arrivals=BurstArrivals(), seed=seed))\n"
+        "    best = min(best, time.perf_counter() - start)\n"
+        "print(best)\n"
+    )
+    try:
+        with tempfile.TemporaryDirectory(prefix="seed-tree-") as tmpdir:
+            tmp = Path(tmpdir)
+            tar_path = tmp / "seed.tar"
+            with open(tar_path, "wb") as fh:
+                subprocess.run(
+                    ["git", "archive", root_commit], stdout=fh, check=True
+                )
+            with tarfile.open(tar_path) as tar:
+                tar.extractall(tmp / "tree")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                env={**os.environ, "PYTHONPATH": str(tmp / "tree" / "src")},
+                capture_output=True, text=True, check=True,
+            )
+            return float(proc.stdout.strip())
+    except (OSError, subprocess.SubprocessError, tarfile.TarError, ValueError) as exc:
+        print(f"seed fig4 comparison skipped: {exc}", file=sys.stderr)
+        return None
+
+
+def build_report(include_seed=True):
+    legacy = events_per_sec("legacy")
+    fast = events_per_sec("fast")
+    report = {
+        "bench": "bench_kernel chain (schedule+run chained events)",
+        "chain_events": CHAIN_EVENTS,
+        "kernel_events_per_sec": {
+            "legacy_handle_mode": round(legacy),
+            "fast_path_mode": round(fast),
+            "fast_over_legacy": round(fast / legacy, 2),
+        },
+        "fig4_burst_sweep_seconds": round(_fig4_sweep_seconds(), 4),
+    }
+    seed_eps = _seed_kernel_events_per_sec() if include_seed else None
+    if seed_eps is not None:
+        report["seed_kernel_events_per_sec"] = round(seed_eps)
+        report["fast_over_seed"] = round(fast / seed_eps, 2)
+        report["legacy_over_seed"] = round(legacy / seed_eps, 2)
+    seed_sweep = _seed_fig4_sweep_seconds() if include_seed else None
+    if seed_sweep is not None:
+        report["seed_fig4_burst_sweep_seconds"] = round(seed_sweep, 4)
+        report["fig4_sweep_speedup_over_seed"] = round(
+            seed_sweep / report["fig4_burst_sweep_seconds"], 2
+        )
+        # Context for the end-to-end number: post-refactor profiling
+        # shows >90% of sweep time inside the RCV protocol procedures
+        # (Exchange/Order), not the execution layer this report
+        # measures — Amdahl caps the whole-sweep speedup accordingly.
+    return report
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the report to PATH (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--no-seed", action="store_true",
+        help="skip the git-history seed-kernel comparison",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(include_seed=not args.no_seed)
+    text = json.dumps(report, indent=2) + "\n"
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.json}")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ paper-vs-measured record.
 """
 
 from repro.core import RCVConfig, RCVNode
+from repro.engine import Engine
 from repro.metrics import (
     MetricsCollector,
     MutualExclusionViolation,
@@ -61,6 +62,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BurstArrivals",
     "ConstantDelay",
+    "Engine",
     "Env",
     "ExponentialDelay",
     "FifoChannel",

@@ -237,77 +237,15 @@ def _run_traced(scenario):
 def run_scenario_with_tap(scenario, tap):
     """run_scenario with access to (network, sim, hooks) before start.
 
-    Re-implemented minimally by monkey-wiring the runner's pieces;
-    exposed for the trace example and the CLI.
+    Thin wrapper over the unified :class:`repro.engine.Engine`:
+    observers attach between construction and start, when nothing has
+    been sent yet.  Exposed for the trace example and the CLI.
     """
-    from repro.metrics.collector import MetricsCollector
-    from repro.metrics.safety import SafetyMonitor
-    from repro.mutex.base import Hooks, SimEnv
-    from repro.net.network import Network
-    from repro.registry import get_algorithm
-    from repro.sim.kernel import Simulator
-    from repro.sim.rng import RngRegistry
-    from repro.workload.arrivals import TraceArrivals
-    from repro.workload.driver import NodeDriver
+    from repro.engine import Engine
 
-    sim = Simulator(max_events=scenario.max_events)
-    rngs = RngRegistry(scenario.seed)
-    network = Network(
-        sim,
-        delay_model=scenario.delay_model,
-        channel=scenario.channel,
-        rng=rngs.stream("net/delay"),
-    )
-    hooks = Hooks()
-    tap(network, sim, hooks)
-    env = SimEnv(sim, network, rngs)
-    collector = MetricsCollector(lambda: sim.now)
-    safety = SafetyMonitor(lambda: sim.now, waiting_probe=collector.has_waiters)
-    safety.attach(hooks)
-    collector.attach(hooks)
-    factory = get_algorithm(scenario.algorithm)
-    nodes = [
-        factory(i, scenario.n_nodes, env, hooks, **scenario.algo_kwargs)
-        for i in range(scenario.n_nodes)
-    ]
-    for node in nodes:
-        network.register(node)
-    for node in nodes:
-        node.start()
-    if isinstance(scenario.arrivals, TraceArrivals):
-        scenario.arrivals.bind_clock(lambda: sim.now)
-    drivers = []
-    for node in nodes:
-        driver = NodeDriver(
-            sim,
-            node,
-            scenario.arrivals,
-            scenario.cs_time,
-            collector,
-            rngs.node_stream("driver", node.node_id),
-            issue_deadline=scenario.issue_deadline,
-        )
-        hooks.subscribe_granted(driver.on_granted)
-        hooks.subscribe_released(driver.on_released)
-        drivers.append(driver)
-    for driver in drivers:
-        driver.start()
-    sim.run(until=scenario.drain_deadline)
-    extra = {}
-    for node in nodes:
-        snap = getattr(node, "counter_snapshot", None)
-        if snap:
-            for k, v in snap().items():
-                extra[k] = extra.get(k, 0) + v
-    return collector.finalize(
-        algorithm=scenario.algorithm,
-        n_nodes=scenario.n_nodes,
-        seed=scenario.seed,
-        horizon=sim.now,
-        network_stats=network.stats,
-        sync_delays=safety.sync_delays,
-        extra=extra,
-    )
+    engine = Engine(scenario)
+    tap(engine.network, engine.sim, engine.hooks)
+    return engine.run(require_completion=False)
 
 
 def _cmd_list(_args) -> int:

@@ -1,0 +1,164 @@
+"""The unified execution engine.
+
+:class:`Engine` is the **single construction path** for simulation
+runs: it wires kernel + network + metrics + safety + algorithm nodes
++ workload drivers from a :class:`~repro.workload.scenario.Scenario`,
+exactly once, in one place.  Every consumer — the public
+:func:`run_scenario`, the CLI (including its traced variant), the
+campaign/parallel experiment pipelines, and the benchmarks — builds
+runs through it instead of hand-wiring the pieces.
+
+Wiring order is part of the determinism contract and mirrors the
+historical ``run_scenario`` exactly (same hook subscription order,
+same schedule-call order, hence the same kernel ``seq`` numbers):
+
+1. kernel, rng registry, network, hooks, env;
+2. safety monitor then metrics collector subscribe to the hooks;
+3. algorithm nodes are constructed and registered in node-id order;
+4. per-node drivers are constructed and subscribed in node-id order;
+5. ``start()`` starts nodes (in order), then drivers (in order);
+6. ``run()`` drains the kernel and finalises the
+   :class:`~repro.metrics.records.RunResult`.
+
+Observers (trace recorders, message taps, fault injection) may grab
+``engine.network`` / ``engine.sim`` / ``engine.hooks`` between
+construction and :meth:`Engine.start` — nothing is sent before then.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.records import RunResult
+from repro.metrics.safety import SafetyMonitor
+from repro.mutex.base import Hooks, SimEnv
+from repro.net.network import Network
+from repro.registry import get_algorithm
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workload.arrivals import TraceArrivals
+from repro.workload.driver import NodeDriver
+from repro.workload.runner import IncompleteRunError
+from repro.workload.scenario import Scenario
+
+__all__ = ["Engine", "run_scenario"]
+
+
+class Engine:
+    """Owns one scenario's full execution stack, construction to result."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.sim = Simulator(max_events=scenario.max_events)
+        self.rngs = RngRegistry(scenario.seed)
+        self.network = Network(
+            self.sim,
+            delay_model=scenario.delay_model,
+            channel=scenario.channel,
+            rng=self.rngs.stream("net/delay"),
+        )
+        self.hooks = Hooks()
+        self.env = SimEnv(self.sim, self.network, self.rngs)
+        self.collector = MetricsCollector(lambda: self.sim.now)
+        self.safety = SafetyMonitor(
+            lambda: self.sim.now, waiting_probe=self.collector.has_waiters
+        )
+        self.safety.attach(self.hooks)
+        self.collector.attach(self.hooks)
+
+        factory = get_algorithm(scenario.algorithm)
+        self.nodes = [
+            factory(i, scenario.n_nodes, self.env, self.hooks, **scenario.algo_kwargs)
+            for i in range(scenario.n_nodes)
+        ]
+        for node in self.nodes:
+            self.network.register(node)
+
+        if isinstance(scenario.arrivals, TraceArrivals):
+            scenario.arrivals.bind_clock(lambda: self.sim.now)
+
+        self.drivers: List[NodeDriver] = []
+        for node in self.nodes:
+            driver = NodeDriver(
+                self.env,
+                node,
+                scenario.arrivals,
+                scenario.cs_time,
+                self.collector,
+                self.rngs.node_stream("driver", node.node_id),
+                issue_deadline=scenario.issue_deadline,
+            )
+            self.hooks.subscribe_granted(driver.on_granted)
+            self.hooks.subscribe_released(driver.on_released)
+            self.drivers.append(driver)
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start nodes then drivers.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes:
+            node.start()
+        for driver in self.drivers:
+            driver.start()
+
+    def run(self, *, require_completion: bool = True) -> RunResult:
+        """Execute the scenario to its end and return the result.
+
+        With ``require_completion`` (default), a run in which any
+        issued request was never granted+released raises
+        :class:`~repro.workload.runner.IncompleteRunError` —
+        surfacing deadlock or starvation instead of silently
+        reporting partial metrics.
+        """
+        self.start()
+        self.sim.run(until=self.scenario.drain_deadline)
+        result = self._finalize()
+        if require_completion and not result.all_completed():
+            incomplete = [
+                r.node_id for r in result.records if not r.completed
+            ]
+            raise IncompleteRunError(
+                f"{len(incomplete)} of {result.issued_count} requests never "
+                f"completed (nodes {sorted(set(incomplete))[:10]}…) — "
+                f"liveness failure in algorithm {self.scenario.algorithm!r}",
+                result,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> RunResult:
+        extra: Dict[str, float] = {}
+        for node in self.nodes:
+            snap = getattr(node, "counter_snapshot", None)
+            if snap is None:
+                continue
+            for key, value in snap().items():
+                extra[key] = extra.get(key, 0) + value
+        return self.collector.finalize(
+            algorithm=self.scenario.algorithm,
+            n_nodes=self.scenario.n_nodes,
+            seed=self.scenario.seed,
+            horizon=self.sim.now,
+            network_stats=self.network.stats,
+            sync_delays=self.safety.sync_delays,
+            extra=extra,
+        )
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    require_completion: bool = True,
+) -> RunResult:
+    """Run ``scenario`` through the engine and return its result.
+
+    This is the canonical implementation behind
+    :func:`repro.workload.runner.run_scenario` (kept there as the
+    stable public import path).
+    """
+    return Engine(scenario).run(require_completion=require_completion)

@@ -8,8 +8,11 @@ so the GIL rules threads out — the standard HPC-Python trade-off).
 
 Cells are described by picklable :class:`CellSpec` values rather than
 :class:`~repro.workload.scenario.Scenario` objects (scenarios carry
-callables); the worker reconstructs the scenario, runs it, and ships
-back the :class:`~repro.metrics.records.RunResult`.
+callables); the worker reconstructs the scenario, runs it through the
+unified :class:`repro.engine.Engine`, and ships back the
+:class:`~repro.metrics.records.RunResult`.  Sequential and pooled
+execution share that single construction path, so they are
+bit-for-bit identical per (cell, seed).
 
 ``python -m repro.cli fig4 --parallel`` uses this path; the
 sequential path remains the default so results stay reproducible on
@@ -76,7 +79,8 @@ class CellSpec:
 
 
 def _run_cell(spec: CellSpec) -> RunResult:
-    from repro.workload.runner import run_scenario
+    # One construction path for every pipeline: the unified engine.
+    from repro.engine import run_scenario
 
     return run_scenario(spec.build_scenario())
 

@@ -1,4 +1,10 @@
-"""Binds hooks + network stats into per-request records."""
+"""Binds hooks + network stats into per-request records.
+
+Hot-path layout: the collector appends to typed column lists (one
+append per field) instead of allocating a :class:`CsRecord` object
+per request during the run; the record objects — and the
+:class:`RunResult` — are materialised once, at :meth:`finalize`.
+"""
 
 from __future__ import annotations
 
@@ -17,10 +23,24 @@ class MetricsCollector:
     outstanding request, the open record per node is unique.
     """
 
+    __slots__ = (
+        "_clock",
+        "_node_ids",
+        "_request_times",
+        "_grant_times",
+        "_release_times",
+        "_open",
+    )
+
     def __init__(self, clock) -> None:
         self._clock = clock
-        self._open: Dict[int, CsRecord] = {}
-        self.records: List[CsRecord] = []
+        # Parallel columns, one entry per issued request, in issue order.
+        self._node_ids: List[int] = []
+        self._request_times: List[float] = []
+        self._grant_times: List[Optional[float]] = []
+        self._release_times: List[Optional[float]] = []
+        # node_id -> column index of its open (uncompleted) request
+        self._open: Dict[int, int] = {}
 
     def attach(self, hooks) -> None:
         hooks.subscribe_granted(self.on_granted)
@@ -32,21 +52,23 @@ class MetricsCollector:
             raise RuntimeError(
                 f"node {node_id} issued a request while one is open"
             )
-        rec = CsRecord(node_id=node_id, request_time=self._clock())
-        self._open[node_id] = rec
-        self.records.append(rec)
+        self._open[node_id] = len(self._node_ids)
+        self._node_ids.append(node_id)
+        self._request_times.append(self._clock())
+        self._grant_times.append(None)
+        self._release_times.append(None)
 
     def on_granted(self, node_id: int) -> None:
-        rec = self._open.get(node_id)
-        if rec is None:
+        idx = self._open.get(node_id)
+        if idx is None:
             raise RuntimeError(f"grant for node {node_id} without a request")
-        rec.grant_time = self._clock()
+        self._grant_times[idx] = self._clock()
 
     def on_released(self, node_id: int) -> None:
-        rec = self._open.pop(node_id, None)
-        if rec is None:
+        idx = self._open.pop(node_id, None)
+        if idx is None:
             raise RuntimeError(f"release for node {node_id} without a grant")
-        rec.release_time = self._clock()
+        self._release_times[idx] = self._clock()
 
     # ------------------------------------------------------------------
     @property
@@ -56,7 +78,26 @@ class MetricsCollector:
 
     def has_waiters(self) -> bool:
         """True if any request is granted-pending (used for sync delay)."""
-        return any(r.grant_time is None for r in self._open.values())
+        grants = self._grant_times
+        return any(grants[i] is None for i in self._open.values())
+
+    @property
+    def records(self) -> List[CsRecord]:
+        """Materialised per-request records (built on demand)."""
+        return [
+            CsRecord(
+                node_id=node_id,
+                request_time=req,
+                grant_time=grant,
+                release_time=release,
+            )
+            for node_id, req, grant, release in zip(
+                self._node_ids,
+                self._request_times,
+                self._grant_times,
+                self._release_times,
+            )
+        ]
 
     def finalize(
         self,
@@ -74,7 +115,7 @@ class MetricsCollector:
             n_nodes=n_nodes,
             seed=seed,
             horizon=horizon,
-            records=list(self.records),
+            records=self.records,
             messages_total=network_stats.sent_total,
             messages_by_kind=dict(network_stats.by_kind),
             weighted_units=network_stats.weighted_units,

@@ -56,6 +56,18 @@ class Env(ABC):
     ) -> Handle:
         """Run ``callback`` after ``delay`` time units; cancellable."""
 
+    def schedule_once(
+        self, delay: float, callback: Callable[[], None]
+    ) -> None:
+        """Run ``callback`` after ``delay``; fire-once, NOT cancellable.
+
+        Environments with a cheaper non-cancellable path (the
+        simulator's handle-free fast path, asyncio's bare
+        ``call_later``) override this; the default simply delegates
+        to :meth:`schedule` and discards the handle.
+        """
+        self.schedule(delay, callback)
+
     @abstractmethod
     def rng(self, name: str) -> random.Random:
         """Named deterministic random stream."""
@@ -77,6 +89,11 @@ class SimEnv(Env):
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Handle:
         return self._sim.schedule(delay, callback)
+
+    def schedule_once(
+        self, delay: float, callback: Callable[[], None]
+    ) -> None:
+        self._sim.schedule_fast(delay, callback)
 
     def rng(self, name: str) -> random.Random:
         return self._rngs.stream(name)

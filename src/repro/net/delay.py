@@ -34,6 +34,18 @@ class DelayModel(ABC):
         """Expected delay, used by the analytical model for Tn."""
         raise NotImplementedError
 
+    def pair_constant(self, src: int, dst: int) -> "float | None":
+        """The fixed delay for ``(src, dst)``, or None if stochastic.
+
+        A model may return a float here **only if** :meth:`sample`
+        for that pair always returns the same value *and consumes no
+        randomness* — the network layer uses this to pre-bind
+        per-pair delays and skip the sampler (and the rng) entirely
+        on its fast path, without perturbing the draw sequence seen
+        by genuinely stochastic models.
+        """
+        return None
+
 
 class ConstantDelay(DelayModel):
     """Fixed delay; the paper's ``Tn = 5`` setting."""
@@ -47,6 +59,9 @@ class ConstantDelay(DelayModel):
         return self.delay
 
     def mean(self) -> float:
+        return self.delay
+
+    def pair_constant(self, src: int, dst: int) -> float:
         return self.delay
 
     def __repr__(self) -> str:
@@ -112,6 +127,9 @@ class MatrixDelay(DelayModel):
         self.matrix = matrix
 
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        return float(self.matrix(src, dst))
+
+    def pair_constant(self, src: int, dst: int) -> float:
         return float(self.matrix(src, dst))
 
     def mean(self) -> float:

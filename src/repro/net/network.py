@@ -14,7 +14,8 @@ obtain the paper's NME measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.channels import ChannelDiscipline, RawChannel
 from repro.net.delay import ConstantDelay, DelayModel
@@ -23,6 +24,30 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import Actor
 
 __all__ = ["Network", "NetworkStats"]
+
+
+def _pair_constant_trusted(model: DelayModel) -> bool:
+    """True if ``model.pair_constant`` provably describes ``model.sample``.
+
+    ``pair_constant`` is a promise about ``sample``; a subclass that
+    overrides ``sample`` *below* the class providing ``pair_constant``
+    (e.g. adding jitter on top of ``ConstantDelay``) breaks that
+    promise, so the fast path must not trust the inherited value.
+    """
+    cls = type(model)
+    pc_owner = next(
+        (base for base in cls.__mro__ if "pair_constant" in vars(base)), None
+    )
+    if pc_owner is None or pc_owner is DelayModel:
+        return False  # only the abstract default (always None)
+    sample_owner = next(
+        (base for base in cls.__mro__ if "sample" in vars(base)), None
+    )
+    if sample_owner is None:
+        return False
+    return not (
+        sample_owner is not pc_owner and issubclass(sample_owner, pc_owner)
+    )
 
 
 @dataclass
@@ -84,6 +109,20 @@ class Network:
         self._taps: List[Callable[[int, int, Message, float], None]] = []
         self._partitioned: set[tuple[int, int]] = set()
         self._failed: set[int] = set()
+        # Fast-path delivery: on a RawChannel (no per-pair ordering
+        # state) with a delay model that exposes fixed per-pair delays
+        # (pair_constant), sends can enqueue directly via the kernel's
+        # handle-free path.  The cache holds the pre-bound per-(src,
+        # dst) delay; it is disabled entirely (None) for stateful
+        # channels (exact-type check) and for delay models whose
+        # pair_constant cannot be trusted to describe sample(), and
+        # lazily when pair_constant reports a stochastic pair.
+        self._pair_delays: Optional[Dict[Tuple[int, int], float]] = (
+            {}
+            if type(self.channel) is RawChannel
+            and _pair_constant_trusted(self.delay_model)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # registration
@@ -153,19 +192,35 @@ class Network:
         """
         if src == dst:
             raise ValueError(f"node {src} attempted to send to itself")
-        if dst not in self._actors:
+        actor = self._actors.get(dst)
+        if actor is None:
             raise KeyError(f"unknown destination node {dst}")
         self.stats.record_send(message)
         if (src, dst) in self._partitioned:
             return  # dropped by the injected partition
         if src in self._failed or dst in self._failed:
             return  # fail-stop crash: traffic to/from the node is lost
+        pair_delays = self._pair_delays
+        if pair_delays is not None and not self._taps:
+            delay = pair_delays.get((src, dst))
+            if delay is None:
+                delay = self.delay_model.pair_constant(src, dst)
+                if delay is None:
+                    # Stochastic model: the fast path would skip rng
+                    # draws and change the stream; disable it for good.
+                    self._pair_delays = None
+                else:
+                    pair_delays[(src, dst)] = delay
+            if delay is not None:
+                self.sim.schedule_fast(
+                    delay, partial(self._fast_deliver, actor, src, message)
+                )
+                return
         deliver_at = self.channel.delivery_time(
             src, dst, self.sim.now, self.delay_model, self.rng
         )
         for tap in self._taps:
             tap(src, dst, message, deliver_at)
-        actor = self._actors[dst]
 
         def _deliver(actor=actor, src=src, message=message) -> None:
             self.stats.delivered_total += 1
@@ -174,6 +229,10 @@ class Network:
         self.sim.schedule_at(
             deliver_at, _deliver, label=f"deliver:{message.kind}:{src}->{dst}"
         )
+
+    def _fast_deliver(self, actor: Actor, src: int, message: Message) -> None:
+        self.stats.delivered_total += 1
+        actor.deliver(src, message)
 
     def broadcast(self, src: int, message_factory: Callable[[int], Message]) -> int:
         """Send an individually constructed message to every other node.

@@ -70,5 +70,11 @@ class AsyncEnv(Env):
         timer = self._get_loop().call_later(max(0.0, delay), callback)
         return AsyncHandle(timer)
 
+    def schedule_once(
+        self, delay: float, callback: Callable[[], None]
+    ) -> None:
+        # Fire-once fast path: no AsyncHandle wrapper is allocated.
+        self._get_loop().call_later(max(0.0, delay), callback)
+
     def rng(self, name: str) -> random.Random:
         return self._rngs.stream(name)

@@ -15,7 +15,13 @@ runs.  It provides:
 Everything is deterministic given ``(scenario, seed)``.
 """
 
-from repro.sim.kernel import Handle, Simulator, SimulationError, EventBudgetExceeded
+from repro.sim.kernel import (
+    EventBudgetExceeded,
+    Handle,
+    PastScheduleError,
+    SimulationError,
+    Simulator,
+)
 from repro.sim.process import Actor
 from repro.sim.rng import RngRegistry, spawn_seed
 
@@ -23,6 +29,7 @@ __all__ = [
     "Actor",
     "EventBudgetExceeded",
     "Handle",
+    "PastScheduleError",
     "RngRegistry",
     "SimulationError",
     "Simulator",

@@ -8,7 +8,19 @@ seq)`` keys mapped to callbacks.  Determinism rules:
   insertion counter — so runs are bit-for-bit reproducible;
 * cancelled events stay in the heap but are skipped (lazy deletion),
   which keeps :meth:`Simulator.schedule` and :meth:`Handle.cancel`
-  O(log n) / O(1).
+  O(log n) / O(1); the heap compacts itself automatically once more
+  than half of it is dead weight (see :meth:`Simulator._compact`).
+
+Two scheduling paths share one heap and one ``seq`` counter (so their
+events interleave deterministically):
+
+* :meth:`Simulator.schedule` — the legacy-handle path: returns a
+  cancellable :class:`Handle` and carries a trace label;
+* :meth:`Simulator.schedule_fast` — the fast path for fire-once
+  events: the heap entry is a plain ``(time, tie, seq, callback)``
+  tuple, with no handle allocation and no label.  Network delivery
+  and the workload drivers use it; anything that may need
+  ``cancel()`` must use :meth:`Simulator.schedule`.
 
 The kernel knows nothing about networks or algorithms; those live in
 :mod:`repro.net` and :mod:`repro.mutex`.
@@ -17,9 +29,19 @@ The kernel knows nothing about networks or algorithms; those live in
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from itertools import count
+from typing import Callable, Optional
 
-__all__ = ["Handle", "Simulator", "SimulationError", "EventBudgetExceeded"]
+__all__ = [
+    "Handle",
+    "PastScheduleError",
+    "Simulator",
+    "SimulationError",
+    "EventBudgetExceeded",
+]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -36,20 +58,41 @@ class EventBudgetExceeded(SimulationError):
     """
 
 
+class PastScheduleError(ValueError):
+    """Raised by :meth:`Simulator.schedule_at` for a timestamp that is
+    already in the past, naming the absolute times involved."""
+
+
 class Handle:
     """Cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "_cancelled", "callback")
+    __slots__ = ("time", "label", "callback", "_cancelled", "_sim")
 
-    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        label: str = "",
+        sim: "Optional[Simulator]" = None,
+    ) -> None:
         self.time = time
         self.callback: Optional[Callable[[], None]] = callback
+        self.label = label
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
-        self.callback = None  # break reference cycles early
+        if self.callback is not None:
+            # Still pending in the heap: break the reference cycle and
+            # let the owning simulator count it toward compaction.
+            self.callback = None
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -71,8 +114,24 @@ class Simulator:
         exceeding it raises :class:`EventBudgetExceeded`.
     trace:
         Optional callable invoked as ``trace(time, label)`` before each
-        event executes; used by :mod:`repro.trace`.
+        event executes; used by :mod:`repro.trace`.  Fast-path events
+        carry the empty label.
     """
+
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_count",
+        "_events_run",
+        "max_events",
+        "trace",
+        "_running",
+        "_cancelled_pending",
+    )
+
+    #: auto-compaction floor: below this many cancelled entries the
+    #: heap is never rebuilt (rebuilds would cost more than the skips)
+    COMPACT_MIN_CANCELLED = 64
 
     def __init__(
         self,
@@ -80,12 +139,13 @@ class Simulator:
         trace: Optional[Callable[[float, str], None]] = None,
     ) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Handle, str]] = []
-        self._seq = 0
+        self._heap: list[tuple] = []
+        self._count = count(1)
         self._events_run = 0
         self.max_events = int(max_events)
         self.trace = trace
         self._running = False
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -121,10 +181,25 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        handle = Handle(self._now + delay, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, (handle.time, tie, self._seq, handle, label))
+        handle = Handle(self._now + delay, callback, label, self)
+        _heappush(self._heap, (handle.time, tie, next(self._count), handle))
         return handle
+
+    def schedule_fast(
+        self, delay: float, callback: Callable[[], None], tie: int = 0
+    ) -> None:
+        """Fast path: schedule a fire-once event with no handle.
+
+        The event cannot be cancelled or labelled; in exchange the
+        heap entry is a bare tuple.  Shares the ``seq`` counter with
+        :meth:`schedule`, so mixing both paths keeps the global event
+        order deterministic.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        _heappush(
+            self._heap, (self._now + delay, tie, next(self._count), callback)
+        )
 
     def schedule_at(
         self,
@@ -134,32 +209,65 @@ class Simulator:
         tie: int = 0,
         label: str = "",
     ) -> Handle:
-        """Schedule ``callback`` at an absolute simulated time."""
+        """Schedule ``callback`` at an absolute simulated time.
+
+        A timestamp earlier than the current clock raises
+        :class:`PastScheduleError` naming both absolute times (rather
+        than a confusing relative "negative delay" complaint).
+        """
+        if time < self._now:
+            raise PastScheduleError(
+                f"cannot schedule at absolute time t={time!r}: the "
+                f"simulated clock is already at t={self._now!r}"
+            )
         return self.schedule(time - self._now, callback, tie=tie, label=label)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _pop_live(self) -> Optional[tuple]:
+        """Pop the next live entry, discarding cancelled ones.
+
+        Each lazily-deleted entry is popped (and accounted) exactly
+        once, here — no other code path re-scans it.
+        """
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            cb = entry[3]
+            if cb.__class__ is Handle and cb.callback is None:
+                self._cancelled_pending -= 1
+                continue
+            return entry
+        return None
+
+    def _fire(self, entry: tuple) -> None:
+        """Execute one live heap entry popped by :meth:`_pop_live`."""
+        cb = entry[3]
+        if cb.__class__ is Handle:
+            handle = cb
+            cb = handle.callback
+            handle.callback = None
+            label = handle.label
+        else:
+            label = ""
+        self._now = entry[0]
+        self._events_run += 1
+        if self._events_run > self.max_events:
+            raise EventBudgetExceeded(
+                f"exceeded {self.max_events} events at t={self._now}"
+            )
+        if self.trace is not None:
+            self.trace(entry[0], label)
+        cb()
+
     def step(self) -> bool:
         """Execute the next event.  Returns False when the heap is empty."""
-        while self._heap:
-            time, _tie, _seq, handle, label = heapq.heappop(self._heap)
-            if not handle.active:
-                continue
-            self._now = time
-            callback = handle.callback
-            handle.callback = None
-            self._events_run += 1
-            if self._events_run > self.max_events:
-                raise EventBudgetExceeded(
-                    f"exceeded {self.max_events} events at t={self._now}"
-                )
-            if self.trace is not None:
-                self.trace(time, label)
-            assert callback is not None
-            callback()
-            return True
-        return False
+        entry = self._pop_live()
+        if entry is None:
+            return False
+        self._fire(entry)
+        return True
 
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the heap drains or ``until`` is reached.
@@ -173,35 +281,127 @@ class Simulator:
         self._running = True
         try:
             if until is None:
-                while self.step():
-                    pass
+                self._run_all()
             else:
-                while self._heap:
-                    next_time = self._peek_time()
-                    if next_time is None or next_time > until:
-                        break
-                    self.step()
-                self._now = max(self._now, until)
+                self._run_until(until)
         finally:
             self._running = False
         return self._now
 
-    def _peek_time(self) -> Optional[float]:
-        """Earliest non-cancelled event time, or None."""
-        while self._heap:
-            time, _tie, _seq, handle, _label = self._heap[0]
-            if handle.active:
-                return time
-            heapq.heappop(self._heap)
-        return None
+    def _run_all(self) -> None:
+        # The kernel's hot loop.  Locals are bound once so the
+        # per-event cost is a heappop, a class check, the event
+        # accounting, and the callback itself.  ``self._events_run``
+        # is re-read and written back every iteration (not cached in
+        # a local across events) so callbacks observe an accurate
+        # count and nested ``step()`` calls stay within the budget.
+        # ``self._heap`` is only ever mutated in place (push / pop /
+        # compact), so the local alias stays valid even when a
+        # callback triggers compaction.
+        heap = self._heap
+        pop = _heappop
+        max_events = self.max_events
+        while True:
+            try:
+                entry = pop(heap)
+            except IndexError:
+                break
+            cb = entry[3]
+            if cb.__class__ is Handle:
+                handle = cb
+                cb = handle.callback
+                if cb is None:
+                    self._cancelled_pending -= 1
+                    continue
+                handle.callback = None
+                self._now = entry[0]
+                self._events_run = events = self._events_run + 1
+                if events > max_events:
+                    raise EventBudgetExceeded(
+                        f"exceeded {max_events} events at t={self._now}"
+                    )
+                trace = self.trace
+                if trace is not None:
+                    trace(entry[0], handle.label)
+                cb()
+            else:
+                self._now = entry[0]
+                self._events_run = events = self._events_run + 1
+                if events > max_events:
+                    raise EventBudgetExceeded(
+                        f"exceeded {max_events} events at t={self._now}"
+                    )
+                trace = self.trace
+                if trace is not None:
+                    trace(entry[0], "")
+                cb()
+
+    def _run_until(self, until: float) -> None:
+        heap = self._heap
+        while True:
+            entry = self._pop_live()
+            if entry is None:
+                break
+            if entry[0] > until:
+                # Not due yet: push the identical tuple back (same
+                # seq, so ordering is untouched) instead of the old
+                # peek-then-re-pop dance that scanned entries twice.
+                _heappush(heap, entry)
+                break
+            self._fire(entry)
+        if until > self._now:
+            self._now = until
+
+    # ------------------------------------------------------------------
+    # heap maintenance
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Handle.cancel` for a still-pending event."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> int:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (``heap[:] = ...``) so aliases held by a running
+        event loop remain valid.  Returns the number removed.
+        """
+        heap = self._heap
+        before = len(heap)
+        live = [
+            e
+            for e in heap
+            if e[3].__class__ is not Handle or e[3].callback is not None
+        ]
+        heap[:] = live
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+        return before - len(heap)
 
     def drain_cancelled(self) -> int:
-        """Compact the heap by dropping cancelled entries (maintenance)."""
-        before = len(self._heap)
-        live = [e for e in self._heap if e[3].active]
-        heapq.heapify(live)
-        self._heap = live
-        return before - len(live)
+        """Compact the heap by dropping cancelled entries.
+
+        Kept for explicit maintenance in tests/tools; normal runs rely
+        on the automatic trigger in :meth:`_note_cancelled`.
+        """
+        return self._compact()
+
+    def _peek_time(self) -> Optional[float]:
+        """Earliest non-cancelled event time, or None."""
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            cb = entry[3]
+            if cb.__class__ is Handle and cb.callback is None:
+                _heappop(heap)
+                self._cancelled_pending -= 1
+                continue
+            return entry[0]
+        return None
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debug aid

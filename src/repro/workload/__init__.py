@@ -12,9 +12,10 @@ Reproduces the paper's two load models (§6.2):
 * :class:`~repro.workload.arrivals.TraceArrivals` — explicit request
   times, used by regression tests to pin adversarial schedules.
 
-:func:`~repro.workload.runner.run_scenario` wires a scenario together
-(kernel, network, algorithm nodes, drivers, safety monitor, metrics)
-and returns a :class:`~repro.metrics.records.RunResult`.
+:func:`~repro.workload.runner.run_scenario` runs a scenario through
+the unified :class:`repro.engine.Engine` (kernel, network, algorithm
+nodes, drivers, safety monitor, metrics wired in one place) and
+returns a :class:`~repro.metrics.records.RunResult`.
 """
 
 from repro.workload.arrivals import (

@@ -4,6 +4,12 @@ Implements the application side of the mutex API: issue requests per
 the arrival process, hold the CS for the configured execution time,
 release, repeat.  The paper's defaults are a constant CS execution
 time Tc = 10 time units.
+
+The driver programs against the :class:`~repro.mutex.base.Env`
+protocol (``now``/``schedule_once``), not the simulator directly —
+its issue/release events are fire-once and never cancelled, so they
+ride the environment's handle-free fast tier, and the same driver
+logic works over any Env implementation.
 """
 
 from __future__ import annotations
@@ -12,8 +18,7 @@ import random
 from typing import Callable, Optional
 
 from repro.metrics.collector import MetricsCollector
-from repro.mutex.base import MutexNode
-from repro.sim.kernel import Simulator
+from repro.mutex.base import Env, MutexNode
 from repro.workload.arrivals import ArrivalProcess
 
 __all__ = ["NodeDriver"]
@@ -24,7 +29,7 @@ class NodeDriver:
 
     def __init__(
         self,
-        sim: Simulator,
+        env: Env,
         node: MutexNode,
         arrivals: ArrivalProcess,
         cs_time: Callable[[random.Random], float],
@@ -33,7 +38,7 @@ class NodeDriver:
         *,
         issue_deadline: Optional[float] = None,
     ) -> None:
-        self.sim = sim
+        self.env = env
         self.node = node
         self.arrivals = arrivals
         self.cs_time = cs_time
@@ -52,10 +57,10 @@ class NodeDriver:
     def _schedule_issue(self, delay: Optional[float]) -> None:
         if delay is None:
             return
-        target = self.sim.now + delay
+        target = self.env.now() + delay
         if self.issue_deadline is not None and target > self.issue_deadline:
             return
-        self.sim.schedule(delay, self._issue, label=f"issue:{self.node.node_id}")
+        self.env.schedule_once(delay, self._issue)
 
     def _issue(self) -> None:
         self.collector.on_requested(self.node.node_id)
@@ -67,9 +72,7 @@ class NodeDriver:
         if node_id != self.node.node_id:
             return
         hold = self.cs_time(self.rng)
-        self.sim.schedule(
-            hold, self.node.release_cs, label=f"release:{node_id}"
-        )
+        self.env.schedule_once(hold, self.node.release_cs)
 
     def on_released(self, node_id: int) -> None:
         if node_id != self.node.node_id:

@@ -1,19 +1,16 @@
-"""Scenario execution: wire everything together and run to completion."""
+"""Scenario execution: the stable public entry point.
+
+The actual wiring lives in :mod:`repro.engine` — one construction
+path shared by this function, the CLI, the experiment pipelines, and
+the benchmarks.  This module keeps the historical import surface
+(``from repro.workload.runner import run_scenario``) and defines
+:class:`IncompleteRunError` (here, not in the engine, so the
+workload package carries no import-time dependency on it).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
-
-from repro.metrics.collector import MetricsCollector
 from repro.metrics.records import RunResult
-from repro.metrics.safety import SafetyMonitor
-from repro.mutex.base import Hooks, SimEnv
-from repro.net.network import Network
-from repro.registry import get_algorithm
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RngRegistry
-from repro.workload.arrivals import TraceArrivals
-from repro.workload.driver import NodeDriver
 from repro.workload.scenario import Scenario
 
 __all__ = ["run_scenario", "IncompleteRunError"]
@@ -43,78 +40,6 @@ def run_scenario(
     exclusion) is enforced during the run by
     :class:`~repro.metrics.safety.SafetyMonitor`.
     """
-    sim = Simulator(max_events=scenario.max_events)
-    rngs = RngRegistry(scenario.seed)
-    network = Network(
-        sim,
-        delay_model=scenario.delay_model,
-        channel=scenario.channel,
-        rng=rngs.stream("net/delay"),
-    )
-    hooks = Hooks()
-    env = SimEnv(sim, network, rngs)
-    collector = MetricsCollector(lambda: sim.now)
-    safety = SafetyMonitor(lambda: sim.now, waiting_probe=collector.has_waiters)
-    safety.attach(hooks)
-    collector.attach(hooks)
+    from repro.engine import run_scenario as _engine_run
 
-    factory = get_algorithm(scenario.algorithm)
-    nodes = [
-        factory(i, scenario.n_nodes, env, hooks, **scenario.algo_kwargs)
-        for i in range(scenario.n_nodes)
-    ]
-    for node in nodes:
-        network.register(node)
-    for node in nodes:
-        node.start()
-
-    if isinstance(scenario.arrivals, TraceArrivals):
-        scenario.arrivals.bind_clock(lambda: sim.now)
-
-    drivers: List[NodeDriver] = []
-    for node in nodes:
-        driver = NodeDriver(
-            sim,
-            node,
-            scenario.arrivals,
-            scenario.cs_time,
-            collector,
-            rngs.node_stream("driver", node.node_id),
-            issue_deadline=scenario.issue_deadline,
-        )
-        hooks.subscribe_granted(driver.on_granted)
-        hooks.subscribe_released(driver.on_released)
-        drivers.append(driver)
-    for driver in drivers:
-        driver.start()
-
-    sim.run(until=scenario.drain_deadline)
-
-    extra: Dict[str, float] = {}
-    for node in nodes:
-        snap = getattr(node, "counter_snapshot", None)
-        if snap is None:
-            continue
-        for key, value in snap().items():
-            extra[key] = extra.get(key, 0) + value
-
-    result = collector.finalize(
-        algorithm=scenario.algorithm,
-        n_nodes=scenario.n_nodes,
-        seed=scenario.seed,
-        horizon=sim.now,
-        network_stats=network.stats,
-        sync_delays=safety.sync_delays,
-        extra=extra,
-    )
-    if require_completion and not result.all_completed():
-        incomplete = [
-            r.node_id for r in result.records if not r.completed
-        ]
-        raise IncompleteRunError(
-            f"{len(incomplete)} of {result.issued_count} requests never "
-            f"completed (nodes {sorted(set(incomplete))[:10]}…) — "
-            f"liveness failure in algorithm {scenario.algorithm!r}",
-            result,
-        )
-    return result
+    return _engine_run(scenario, require_completion=require_completion)
