@@ -143,7 +143,7 @@ def test_fast_mode_beats_legacy_mode():
 def _busy_si(n=30, competitors=10):
     si = SystemInfo(n)
     for i in range(n):
-        si.rows[i].ts = i
+        si.row_ts[i] = i
         si.rows[i].mnl = [
             ReqTuple((i + k) % competitors, 2) for k in range(min(4, competitors))
         ]
@@ -154,7 +154,7 @@ def test_exchange_cost_at_paper_scale(benchmark):
     """One Exchange at N=30 with populated tables."""
     si = _busy_si()
     msg = _busy_si()
-    msg.rows[7].ts = 99
+    msg.row_ts[7] = 99
     benchmark(lambda: exchange(si.snapshot(), msg, on_inconsistency="count"))
 
 

@@ -15,7 +15,10 @@ Package layout (one module per concept in §3–4 of the paper):
 * :mod:`~repro.core.forwarding` — request-forwarding policies (the
   paper's random choice plus the future-work alternatives);
 * :mod:`~repro.core.node` — the MPM (Message Processing Model)
-  algorithm (§4.1) as a :class:`~repro.mutex.base.MutexNode`.
+  algorithm (§4.1) as a :class:`~repro.mutex.base.MutexNode`;
+* :mod:`~repro.core.reference` — the historical full-snapshot
+  implementation, preserved as the executable specification and
+  benchmark baseline for the incremental hot path (docs/protocol.md).
 """
 
 from repro.core.config import RCVConfig

@@ -1,4 +1,4 @@
-"""The Exchange procedure (paper §4.3).
+"""The Exchange procedure (paper §4.3) — incremental implementation.
 
 Merges an incoming message's snapshot (MONL + MSIT + watermark) into
 the receiving node's SI.  Steps, mirroring the paper's lines with the
@@ -17,6 +17,35 @@ watermark clarification from DESIGN.md §3.1:
    re-established (removals of ordered tuples do not bump row
    counters in the paper, so a fresher row may resurrect a tuple the
    local node already ordered — normalization removes it again).
+
+Incremental merge (docs/protocol.md, "Performance model")
+---------------------------------------------------------
+
+The result is bit-for-bit identical to the historical full-snapshot
+merge (clone every fresher row, re-normalize the whole table), but
+the work is proportional to what actually changed:
+
+* step 2's local prune is *skipped* when the watermark merge advanced
+  nothing (``SystemInfo.prune_done`` is amortised on the watermark
+  generation);
+* step 4 adopts a fresher remote row **by reference** (marking it
+  shared) instead of cloning it — copy-on-write clones it later iff
+  somebody mutates it;
+* re-normalization visits only the adopted rows (which may carry
+  outdated or already-ordered tuples) plus — when the NONL merge
+  learned new ordered tuples — the rows still holding those tuples.
+  Untouched local rows are provably clean: the SI enters every
+  exchange with both pruning invariants holding, so a row that
+  neither changed nor saw the NONL/watermark change cannot need
+  pruning.
+
+A brute-force reference implementation of the historical semantics
+lives in :mod:`repro.core.reference`; the property suite
+(``tests/property/test_props_incremental.py``) drives both against
+randomized message sequences and asserts state equality, and
+``benchmarks/bench_protocol.py`` measures the speedup.
+
+``exchange`` mutates ``si`` in place; ``msg_si`` is never mutated.
 """
 
 from __future__ import annotations
@@ -27,12 +56,13 @@ from repro.core.errors import ProtocolInvariantError
 from repro.core.state import SystemInfo
 from repro.core.tuples import ReqTuple
 
-__all__ = ["exchange", "merge_nonl", "is_consistent_order"]
+__all__ = ["exchange", "merge_nonl", "is_consistent_order", "ExchangeStats"]
 
 
 def is_consistent_order(a: List[ReqTuple], b: List[ReqTuple]) -> bool:
     """True when the tuples common to ``a`` and ``b`` appear in the
-    same relative order — the Lemma 7 property."""
+    same relative order — the Lemma 7 property.  O(|a| + |b|).
+    Pure: mutates neither list."""
     common = set(a) & set(b)
     fa = [t for t in a if t in common]
     fb = [t for t in b if t in common]
@@ -52,6 +82,9 @@ def merge_nonl(
     yields a usable list: common tuples keep their (identical)
     relative order, and tuples unique to one list are interleaved
     after their latest common predecessor.
+
+    O(|local| + |remote|); pure — returns a new list, mutates neither
+    input.
     """
     if not local:
         return list(remote)
@@ -104,12 +137,70 @@ def merge_nonl(
 
 
 class ExchangeStats:
-    """Mutable counters a node threads through its exchanges."""
+    """Mutable counters a node threads through its exchanges.
 
-    __slots__ = ("inconsistencies",)
+    Beyond the Lemma 7 ``inconsistencies`` count, these record how
+    much work the incremental merge avoided:
+
+    * ``rows_merged`` / ``rows_skipped`` — NSIT rows adopted from the
+      remote snapshot vs. left untouched (remote not fresher);
+    * ``clones_avoided`` — adopted rows still shared at the end of
+      the exchange (the historical implementation cloned every one);
+    * ``prunes_run`` / ``prunes_deferred`` — full watermark-prune
+      scans executed vs. skipped because nothing new finished.
+    """
+
+    __slots__ = (
+        "inconsistencies",
+        "exchanges",
+        "rows_merged",
+        "rows_skipped",
+        "clones_avoided",
+        "prunes_run",
+        "prunes_deferred",
+    )
 
     def __init__(self) -> None:
         self.inconsistencies = 0
+        self.exchanges = 0
+        self.rows_merged = 0
+        self.rows_skipped = 0
+        self.clones_avoided = 0
+        self.prunes_run = 0
+        self.prunes_deferred = 0
+
+    def as_dict(self) -> dict:
+        """Counter snapshot (for metrics aggregation)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _merge_diverged(
+    si: SystemInfo,
+    remote_nonl: List[ReqTuple],
+    on_inconsistency: str,
+    stats: ExchangeStats | None,
+) -> set:
+    """Slow-path NONL merge for lists that are not prefix-related.
+
+    Runs the full Lemma 7 consistency check and the general
+    order-preserving union; returns the set of tuples newly added to
+    the local NONL.
+    """
+    local_nonl = si.nonl
+    if not is_consistent_order(local_nonl, remote_nonl):
+        if on_inconsistency == "raise":
+            raise ProtocolInvariantError(
+                f"NONLs disagree on order: local={local_nonl} "
+                f"remote={remote_nonl}"
+            )
+        if stats is not None:
+            stats.inconsistencies += 1
+    merged = merge_nonl(local_nonl, remote_nonl)
+    if merged == local_nonl:
+        return set()
+    new_tuples = set(merged).difference(local_nonl)
+    si.set_nonl(merged)
+    return new_tuples
 
 
 def exchange(
@@ -122,35 +213,170 @@ def exchange(
     """Merge ``msg_si`` (a message snapshot) into ``si`` in place.
 
     ``msg_si`` is treated as read-only: messages may be observed by
-    taps/tests after delivery, so the snapshot is never mutated.
+    taps/tests after delivery, so the snapshot is never mutated (its
+    rows may however be *adopted* — shared, copy-on-write — into
+    ``si``).  Cost is O(N) plus work proportional to the rows and
+    NONL entries that actually changed; see the module docstring.
     """
-    # 1. watermarks
-    si.merge_done(msg_si.done)
+    # 1.+2. watermarks, then prune the local side.  The merge and the
+    # prune are both skipped outright in the common no-change case
+    # (equal vectors; watermark clean since the last prune).
+    if msg_si.done != si.done:
+        si.merge_done(msg_si.done)
+    if si._clean_done_gen != si._done_gen:
+        pruned = si.prune_done()
+    else:
+        si.prunes_skipped += 1
+        pruned = False
 
-    # 2. prune outdated state on the local side; view the remote side
-    #    through the merged watermark without mutating it.
-    si.prune_done()
+    # View the remote side through the merged watermark without
+    # mutating it.  A sender-clean snapshot can only carry outdated
+    # tuples where the receiver knows completions the sender did not
+    # — impossible when the merged watermark equals the sender's.
     done = si.done
-    remote_nonl = [t for t in msg_si.nonl if t.ts > done[t.node]]
+    msg_done = msg_si.done
+    covered = msg_done == done
+    mnonl = msg_si.nonl
+    if not mnonl:
+        remote_nonl = ()
+    elif covered:
+        remote_nonl = mnonl  # read-only below; never aliased into si
+    else:
+        remote_nonl = [t for t in mnonl if t.ts > done[t.node]]
 
-    # 3. ordered-list merge (Lemma 6/7)
-    if not is_consistent_order(si.nonl, remote_nonl):
-        if on_inconsistency == "raise":
-            raise ProtocolInvariantError(
-                f"NONLs disagree on order: local={si.nonl} "
-                f"remote={remote_nonl}"
+    # 3. ordered-list merge (Lemma 6/7).  In normal operation Lemma 6
+    #    holds and one pruned list is a prefix of the other, which we
+    #    detect with a single slice comparison — consistency is then
+    #    implied and the merge is "take the longer".  Only genuinely
+    #    diverging lists pay for the general order-preserving union.
+    local_nonl = si.nonl
+    new_tuples = ()
+    if not remote_nonl:
+        pass  # nothing to learn; local list stands (merge identity)
+    elif remote_nonl == local_nonl:
+        pass  # converged — the common steady state
+    elif not local_nonl:
+        si.set_nonl(list(remote_nonl))
+        new_tuples = set(remote_nonl)
+    elif len(remote_nonl) <= len(local_nonl):
+        if local_nonl[: len(remote_nonl)] != remote_nonl:
+            new_tuples = _merge_diverged(
+                si, remote_nonl, on_inconsistency, stats
             )
-        if stats is not None:
-            stats.inconsistencies += 1
-    si.nonl = merge_nonl(si.nonl, remote_nonl)
+    elif remote_nonl[: len(local_nonl)] == local_nonl:
+        si.set_nonl(list(remote_nonl))
+        new_tuples = set(remote_nonl[len(local_nonl) :])
+    else:
+        new_tuples = _merge_diverged(si, remote_nonl, on_inconsistency, stats)
 
-    # 4. per-row freshness sync
-    for j in range(si.n):
-        local_row = si.rows[j]
-        remote_row = msg_si.rows[j]
-        if remote_row.ts > local_row.ts:
-            si.rows[j] = remote_row.clone()
+    # 4. per-row freshness sync: adopt fresher remote rows by
+    #    reference (copy-on-write), leave the rest untouched.
+    rows = si.rows
+    mrows = msg_si.rows
+    lts = si.row_ts
+    mts = msg_si.row_ts
+    log_front = si._log_front
+    adopted = ()
+    max_ts = 0
+    if lts != mts:  # C-level freshness sweep: equal vectors ⇒ none fresher
+        adopted = []
+        for j, mt in enumerate(mts):
+            if mt > lts[j]:
+                lts[j] = mt
+                log_front(j)
+                rrow = mrows[j]
+                rrow.shared = True
+                rows[j] = rrow
+                adopted.append(j)
+                if mt > max_ts:
+                    max_ts = mt
+        if adopted:
+            si.gen += 1
+            si.note_ts(max_ts)
 
-    # Re-establish pruning invariants: fresher rows may carry tuples
-    # we already ordered or know finished.
-    si.normalize()
+    # Re-establish the pruning invariants *incrementally*.  Adopted
+    # rows may carry tuples we already ordered or know finished; the
+    # untouched local rows were clean on entry and can only have been
+    # dirtied by NONL growth (new_tuples).
+    adopted_cloned = 0
+    if adopted or new_tuples:
+        # Suspect sets: an adopted row was clean against the
+        # *sender's* watermark and NONL at snapshot time, so one of
+        # its tuples can need pruning only where the receiver knows
+        # strictly more — a node whose completion the sender had not
+        # seen (``adv``: done[k] > sender's done[k]) or an ordered
+        # tuple the sender's NONL lacked (``extra``).  Both sets are
+        # tiny, and by Lemma 1 a row holds at most one tuple per
+        # node, so each adopted row is tested against them through
+        # its cached node map in O(|adv| + |extra|) instead of an
+        # O(|MNL|) scan.
+        ordered = set(si.nonl) if si.nonl else ()
+        if adopted:
+            if covered:
+                # Merged watermark equals the sender's: no advantage.
+                adv = ()
+            else:
+                adv = [
+                    k
+                    for k, md in enumerate(msg_done)
+                    if done[k] > md
+                ]
+            extra = (
+                ordered.difference(msg_si.nonl) if ordered else ()
+            )
+            if adv or extra:
+                for j in adopted:
+                    row = rows[j]
+                    nm = row.node_map()
+                    hit = False
+                    for k in adv:
+                        ts_k = nm.get(k)
+                        if ts_k is not None and ts_k <= done[k]:
+                            hit = True
+                            break
+                    if not hit:
+                        for tt in extra:
+                            if nm.get(tt.node) == tt.ts:
+                                hit = True
+                                break
+                    if hit:
+                        si._replace_mnl(
+                            j,
+                            [
+                                u
+                                for u in row.mnl
+                                if u.ts > done[u.node]
+                                and u not in ordered
+                            ],
+                        )
+                        adopted_cloned += 1
+        if new_tuples:
+            # Same Lemma 1 shortcut for the untouched local rows: a
+            # row holds a newly ordered tuple iff its node map has
+            # that exact (node, ts) entry — O(|new_tuples|) per row
+            # through the content-cached map instead of an O(|MNL|)
+            # scan.
+            adopted_set = set(adopted)
+            nts = list(new_tuples)
+            for j, row in enumerate(rows):
+                if j in adopted_set or not row.mnl:
+                    continue
+                nm = row.node_map()
+                for tt in nts:
+                    if nm.get(tt.node) == tt.ts:
+                        si._replace_mnl(
+                            j,
+                            [u for u in row.mnl if u not in new_tuples],
+                        )
+                        break
+
+    if stats is not None:
+        stats.exchanges += 1
+        n_adopted = len(adopted)
+        stats.rows_merged += n_adopted
+        stats.rows_skipped += si.n - n_adopted
+        stats.clones_avoided += n_adopted - adopted_cloned
+        if pruned:
+            stats.prunes_run += 1
+        else:
+            stats.prunes_deferred += 1

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, Type
+from typing import Collection, Dict, Type
 
 from repro.core.state import SystemInfo
 
@@ -45,11 +45,18 @@ class ForwardingPolicy(ABC):
     @abstractmethod
     def choose(
         self,
-        unvisited: FrozenSet[int],
+        unvisited: Collection[int],
         si: SystemInfo,
         rng: random.Random,
     ) -> int:
-        """Return the next destination from ``unvisited`` (non-empty)."""
+        """Return the next destination from ``unvisited`` (non-empty).
+
+        The protocol hot path passes the RM's unvisited list as a
+        **sorted tuple** (see
+        :class:`~repro.core.messages.RequestMessage`); policies must
+        also accept arbitrary collections (tests pass sets).  Pure —
+        never mutates ``si`` and draws at most once from ``rng``.
+        """
 
 
 class RandomPolicy(ForwardingPolicy):
@@ -58,9 +65,12 @@ class RandomPolicy(ForwardingPolicy):
     name = "random"
 
     def choose(self, unvisited, si, rng) -> int:
-        # sorted() gives a stable population so that the draw depends
-        # only on the rng stream, not set iteration order.
-        return rng.choice(sorted(unvisited))
+        # A sorted population makes the draw depend only on the rng
+        # stream, not set iteration order.  The hot path already
+        # supplies a sorted tuple; anything else is sorted here.
+        if type(unvisited) is not tuple:
+            unvisited = sorted(unvisited)
+        return rng.choice(unvisited)
 
 
 class SequentialPolicy(ForwardingPolicy):
@@ -78,7 +88,7 @@ class LeastInformedPolicy(ForwardingPolicy):
     name = "least_informed"
 
     def choose(self, unvisited, si, rng) -> int:
-        return min(unvisited, key=lambda j: (si.rows[j].ts, j))
+        return min(unvisited, key=lambda j: (si.row_ts[j], j))
 
 
 class MostInformedPolicy(ForwardingPolicy):
@@ -87,7 +97,7 @@ class MostInformedPolicy(ForwardingPolicy):
     name = "most_informed"
 
     def choose(self, unvisited, si, rng) -> int:
-        return min(unvisited, key=lambda j: (-si.rows[j].ts, j))
+        return min(unvisited, key=lambda j: (-si.row_ts[j], j))
 
 
 POLICIES: Dict[str, Type[ForwardingPolicy]] = {

@@ -9,10 +9,12 @@
 * :class:`InformMessage` (IM) — tells a predecessor who enters the CS
   after it (field ``Next``); carries a snapshot.
 
-Snapshots are deep copies taken at send time
-(:meth:`~repro.core.state.SystemInfo.snapshot`), so in-flight
-messages are immune to sender-side mutation — required for a
-simulator that passes references.
+Snapshots are taken at send time
+(:meth:`~repro.core.state.SystemInfo.snapshot`) and are *frozen*: the
+copy-on-write row sharing guarantees an in-flight message is immune
+to sender- and receiver-side mutation — the same isolation the
+historical deep copy provided, without the per-message table copy
+(docs/protocol.md, "Performance model").
 
 ``size_units`` reflects the O(N) payload of snapshot-carrying
 messages (1 + number of carried tuples), enabling the
@@ -22,13 +24,16 @@ matching the paper.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from operator import attrgetter
+from typing import Iterable
 
 from repro.core.state import SystemInfo
 from repro.core.tuples import ReqTuple
 from repro.net.message import Message
 
 __all__ = ["RequestMessage", "EnterMessage", "InformMessage"]
+
+_get_mnl = attrgetter("mnl")
 
 
 class _SnapshotMessage(Message):
@@ -41,9 +46,10 @@ class _SnapshotMessage(Message):
         self.si = si
 
     def size_units(self) -> int:
-        carried = len(self.si.nonl) + sum(
-            len(row.mnl) for row in self.si.rows
-        )
+        """O(N) payload of a snapshot-carrying message: one unit of
+        fixed header plus one per carried tuple (NONL + all MNLs)."""
+        si = self.si
+        carried = len(si.nonl) + sum(map(len, map(_get_mnl, si.rows)))
         return 1 + carried
 
 
@@ -64,14 +70,22 @@ class RequestMessage(_SnapshotMessage):
         self,
         home: int,
         tup: ReqTuple,
-        unvisited: FrozenSet[int],
+        unvisited: Iterable[int],
         si: SystemInfo,
         hops: int = 0,
     ) -> None:
         super().__init__(si)
         self.home = home
         self.tup = tup
-        self.unvisited = frozenset(unvisited)
+        # Stored as a sorted tuple: the stable population the random
+        # forwarding policy draws from (previously re-sorted from a
+        # frozenset on every hop).  A tuple argument is trusted to be
+        # sorted already — the hot path passes slices of a sorted
+        # tuple; anything else is sorted here.
+        if type(unvisited) is tuple:
+            self.unvisited = unvisited
+        else:
+            self.unvisited = tuple(sorted(unvisited))
         self.hops = hops
 
     def describe(self) -> str:

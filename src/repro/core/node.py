@@ -100,14 +100,16 @@ class RCVNode(MutexNode):
                 f"node {self.node_id} is excluded from the membership "
                 "and cannot request the CS"
             )
-        row = self.si.rows[self.node_id]
-        row.ts += 1
-        tup = ReqTuple(self.node_id, row.ts)
-        row.append_unique(tup)
+        si = self.si
+        ts = si.row_ts[self.node_id] + 1
+        si.row_ts[self.node_id] = ts
+        si.note_ts(ts)
+        tup = ReqTuple(self.node_id, ts)
+        si.own_row(self.node_id).append_unique(tup)
         self.current_tup = tup
         if self.n_nodes == 1:
             # Degenerate single-node system: no peers to consult.
-            self.si.nonl.append(tup)
+            self.si.nonl_append(tup)
             self.si.remove_everywhere(tup)
             self._grant()
             return
@@ -115,8 +117,14 @@ class RCVNode(MutexNode):
         self._forward_rm(self.node_id, tup, self._initial_ul(), hops=0)
         self._arm_recovery(tup)
 
-    def _initial_ul(self) -> frozenset:
-        return frozenset(self.peers()) - self._excluded
+    def _initial_ul(self) -> tuple:
+        """Fresh unvisited list: all peers minus the excluded set, as
+        the sorted tuple the forwarding policies draw from."""
+        if self._excluded:
+            return tuple(
+                sorted(set(self.peers()) - self._excluded)
+            )
+        return tuple(sorted(self.peers()))
 
     # ------------------------------------------------------------------
     # request recovery (optional extension — EXPERIMENTS.md F3)
@@ -160,7 +168,8 @@ class RCVNode(MutexNode):
         """Paper lines 17–24: mark finished, wake the successor."""
         tup = self.current_tup
         assert tup is not None
-        self.si.rows[self.node_id].ts += 1  # line 18
+        self.si.row_ts[self.node_id] += 1  # line 18
+        self.si.note_ts(self.si.row_ts[self.node_id])
         self.si.mark_done(tup)
         self.si.normalize()  # removes our tuple from NONL top and MNLs
         self.current_tup = None
@@ -191,19 +200,21 @@ class RCVNode(MutexNode):
     def _on_rm(self, msg: RequestMessage) -> None:
         """Paper lines 33–53."""
         self._exchange(msg.si)
+        si = self.si
         tup = msg.tup
-        if self.si.is_done(tup):
+        if si.is_done(tup):
             # The request already ran its CS; the roaming copy is
             # stale (cannot happen with a single in-flight RM per
             # request, but we fail soft and count).
             self.counters["stale_rm"] += 1
             self._reprocess_parked()
             return
-        if tup not in self.si.nonl:
-            self.si.rows[self.node_id].append_unique(tup)  # line 35
-        self.si.rows[self.node_id].ts = self.si.max_row_ts() + 1  # line 36
+        if tup not in si.nonl:
+            si.own_row(self.node_id).append_unique(tup)  # line 35
+        # line 36: max_row_ts() + 1, maintained in O(1)
+        si.row_ts[self.node_id] = si.next_ts()
         outcome = run_order(
-            self.si, tup, rule=self.config.rule, excluded=self._excluded
+            si, tup, rule=self.config.rule, excluded=self._excluded
         )  # line 37
         if outcome.be_ordered:
             self._notify_for(tup)  # lines 38–45
@@ -212,11 +223,15 @@ class RCVNode(MutexNode):
         self._reprocess_parked()
 
     def _continue_roaming(self, msg: RequestMessage) -> None:
-        unvisited = msg.unvisited - self._excluded
-        if unvisited != msg.unvisited:
-            msg = RequestMessage(
-                msg.home, msg.tup, unvisited, msg.si, hops=msg.hops
+        if self._excluded:
+            excluded = self._excluded
+            unvisited = tuple(
+                x for x in msg.unvisited if x not in excluded
             )
+            if unvisited != msg.unvisited:
+                msg = RequestMessage(
+                    msg.home, msg.tup, unvisited, msg.si, hops=msg.hops
+                )
         if msg.unvisited:
             self._forward_rm(
                 msg.home, msg.tup, msg.unvisited, hops=msg.hops + 1
@@ -237,15 +252,16 @@ class RCVNode(MutexNode):
         self,
         home: int,
         tup: ReqTuple,
-        unvisited: frozenset,
+        unvisited: tuple,
         hops: int,
     ) -> None:
         rng = self.env.rng(f"rcv-fwd/{self.node_id}")
         dest = self.policy.choose(unvisited, self.si, rng)
+        i = unvisited.index(dest)
         msg = RequestMessage(
             home,
             tup,
-            unvisited - {dest},
+            unvisited[:i] + unvisited[i + 1 :],
             self.si.snapshot(),
             hops=hops,
         )
@@ -269,7 +285,7 @@ class RCVNode(MutexNode):
             # chain guarantees every true predecessor has finished
             # (and its done-vector just told us so), so our tuple
             # belongs at the head.
-            self.si.nonl.insert(0, tup)
+            self.si.nonl_insert_front(tup)
             self.si.remove_everywhere(tup)
         if not self.si.on_top(tup):
             # A predecessor we believe unfinished survived the EM's
@@ -380,7 +396,24 @@ class RCVNode(MutexNode):
         return len(self._parked)
 
     def counter_snapshot(self) -> Dict[str, int]:
+        """Protocol counters merged into :class:`RunResult.extra`.
+
+        Includes the incremental-exchange instrumentation
+        (:class:`~repro.core.exchange.ExchangeStats`: rows merged vs.
+        skipped, clones avoided, prunes run vs. deferred) and the
+        SI's copy-on-write counters, aggregated across nodes by the
+        engine and exposed through ``MetricsCollector.finalize``.
+        """
         out = dict(self.counters)
-        out["nonl_inconsistencies"] = self.exchange_stats.inconsistencies
+        stats = self.exchange_stats
+        out["nonl_inconsistencies"] = stats.inconsistencies
         out["parked_now"] = len(self._parked)
+        out["exchanges"] = stats.exchanges
+        out["exch_rows_merged"] = stats.rows_merged
+        out["exch_rows_skipped"] = stats.rows_skipped
+        out["exch_clones_avoided"] = stats.clones_avoided
+        out["exch_prunes_run"] = stats.prunes_run
+        out["exch_prunes_deferred"] = stats.prunes_deferred
+        out["si_cow_clones"] = self.si.cow_clones
+        out["si_snapshots"] = self.si.snapshots_taken
         return out

@@ -55,7 +55,13 @@ class OrderOutcome:
 def rank_candidates(
     si: SystemInfo, excluded: frozenset = frozenset()
 ) -> List[Tuple[ReqTuple, int]]:
-    """Candidates ranked by (votes desc, node id asc) — the {TPh} seq."""
+    """Candidates ranked by (votes desc, node id asc) — the {TPh} seq.
+
+    O(N + C log C) for C candidates on a dirty SI; the vote tally
+    itself is cached on :attr:`SystemInfo.gen` (see
+    :meth:`~repro.core.state.SystemInfo.tally_votes`).  Pure: does
+    not mutate ``si``.
+    """
     votes = si.tally_votes(excluded)
     return sorted(votes.items(), key=lambda kv: (-kv[1], kv[0].node))
 
@@ -80,7 +86,7 @@ def can_commit(
     """Decide whether the leader of ``ranked`` may be committed.
 
     ``unknown`` is the number of empty NSIT rows (votes not yet
-    known).  ``ranked`` must be non-empty.
+    known).  ``ranked`` must be non-empty.  O(|ranked|); pure.
     """
     tp1, s1 = ranked[0]
     if rule == "paper":
@@ -112,6 +118,61 @@ def can_commit(
     raise ValueError(f"unknown RCV rule {rule!r}")
 
 
+def _committable_leader(
+    votes, n_nodes: int, unknown: int, rule: str
+) -> Optional[ReqTuple]:
+    """Sort-free equivalent of ``rank_candidates`` + ``can_commit``.
+
+    Returns the leader tuple iff it may be committed, else None.
+    Both commit tests depend only on the leader, the runner-up and
+    per-competitor comparisons — all order-independent — so a single
+    O(C) pass over the tally replaces the O(C log C) ranking on the
+    Order hot path.  ``rank_candidates``/``can_commit`` remain the
+    readable specification (and the property suite pins the two
+    paths to each other).
+    """
+    # One pass: leader and runner-up under (votes desc, node asc).
+    # For ``strict`` the runner-up suffices: a competitor beaten by
+    # TP2 is beaten a fortiori — if its lead over TP1 could block the
+    # commit, TP2's (weakly larger, id-tie-preferred) lead already
+    # does, so the per-competitor conjunction collapses to the TP2
+    # test plus the unseen-competitor test.
+    tp1 = None
+    s1 = -1
+    tp2 = None
+    s2 = -1
+    for tp, s in votes.items():
+        if s > s1 or (s == s1 and tp.node < tp1.node):
+            tp1, s1, tp2, s2 = tp, s, tp1, s1
+        elif s > s2 or (s == s2 and tp.node < tp2.node):
+            tp2, s2 = tp, s
+
+    if rule == "paper":
+        if tp2 is not None:
+            sentinel_id = tp2.node
+            lead = s1 - s2
+        else:
+            sentinel_id = _unseen_competitor_id(tp1)
+            lead = s1
+        ok = lead > unknown or (lead == unknown and tp1.node < sentinel_id)
+        return tp1 if ok else None
+
+    if rule == "strict":
+        if tp2 is not None:
+            lead = s1 - s2
+            if lead < unknown:
+                return None
+            if lead == unknown and not tp1.node < tp2.node:
+                return None
+        if s1 < unknown:
+            return None
+        if s1 == unknown and not tp1.node < _unseen_competitor_id(tp1):
+            return None
+        return tp1
+
+    raise ValueError(f"unknown RCV rule {rule!r}")
+
+
 def run_order(
     si: SystemInfo,
     home_tup: Optional[ReqTuple],
@@ -126,7 +187,10 @@ def run_order(
     ``excluded`` is the agreed crashed-membership set (DESIGN.md
     exclusion extension): those rows neither vote nor count as
     unknown.  Mutates ``si`` — committed tuples move from the MNLs to
-    the NONL.
+    the NONL (through the generation-tracked mutators, so vote
+    caches invalidate and shared rows are copy-on-write-faulted).
+    O(N) per committed tuple; O(N) total when nothing commits and the
+    vote caches are warm.
     """
     outcome = OrderOutcome()
 
@@ -136,14 +200,14 @@ def run_order(
         si.remove_everywhere(home_tup)
     else:
         while True:
-            ranked = rank_candidates(si, excluded)
-            if not ranked:
+            votes = si.tally_votes(excluded)
+            if not votes:
                 break
             unknown = si.empty_row_count(excluded)
-            if not can_commit(ranked, si.n, unknown, rule):
+            tp1 = _committable_leader(votes, si.n, unknown, rule)
+            if tp1 is None:
                 break
-            tp1 = ranked[0][0]
-            si.nonl.append(tp1)
+            si.nonl_append(tp1)
             si.remove_everywhere(tp1)
             outcome.newly_ordered.append(tp1)
             if home_tup is not None and tp1 == home_tup:

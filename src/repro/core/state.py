@@ -19,171 +19,605 @@ request by ``j`` known to have *finished* the CS.  A tuple
 The watermark is merged pointwise-max on every exchange, making
 outdated-tuple detection order-insensitive (the paper reconstructs
 the same information from TS comparisons).
+
+Hot-path design (docs/protocol.md, "Performance model")
+-------------------------------------------------------
+
+The protocol sends a *snapshot* of the SI inside every message and
+merges one on every receipt, which made full-table copying the
+dominant cost of a run.  This module therefore implements:
+
+* **Copy-on-write rows** — :meth:`SystemInfo.snapshot` shares the
+  live :class:`Row` objects with the snapshot and marks them
+  ``shared``; a shared row is cloned only when it is next mutated
+  (:meth:`SystemInfo.own_row`).  Snapshot content is frozen from the
+  receiver's point of view — exactly the old deep-copy guarantee —
+  at O(N) pointer copies instead of O(N · |MNL|) list copies.
+* **Dirty generations** — every mutation of the SI bumps
+  ``SystemInfo.gen`` (and the mutated row's ``Row.gen``); the
+  watermark has its own counter so :meth:`prune_done` can *skip*
+  entirely when nothing new finished since the last prune.
+* **Gen-keyed caches** — :meth:`tally_votes`,
+  :meth:`empty_row_count` and :meth:`position_in_nonl` memoise their
+  result keyed by ``gen``, so re-running Order on an unchanged SI is
+  O(1).
+
+Mutation contract
+-----------------
+
+All protocol-path mutators (``own_row``, ``mark_done``,
+``merge_done``, ``nonl_append``, ``nonl_insert_front``, ``set_nonl``,
+``remove_everywhere``, ``prune_*``) keep the generation bookkeeping
+and copy-on-write invariants.  Code that mutates ``rows[j]``
+*directly* must first take ownership via :meth:`SystemInfo.own_row`;
+:meth:`Row.append_unique` / :meth:`Row.remove` raise on a shared row
+to turn silent snapshot corruption into a loud error.  Direct
+attribute writes (``si.row_ts[j] = x``, ``si.nonl = [...]``,
+``si.done[j] = x``) remain supported for *building* an SI in tests,
+but only before the first snapshot/exchange touches it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.tuples import ReqTuple
 
 __all__ = ["Row", "SystemInfo"]
 
+_get_mnl = attrgetter("mnl")
 
-@dataclass
+
 class Row:
-    """One NSIT row: what we know about requests received at a node."""
+    """One NSIT row's MNL: requests known received at a node.
 
-    ts: int = 0
-    mnl: List[ReqTuple] = field(default_factory=list)
+    The row's freshness counter lives in the parallel
+    ``SystemInfo.row_ts`` int list (so the Exchange freshness sweep
+    is a C-speed list comparison and timestamp bumps never fault a
+    copy-on-write clone).  ``gen`` counts mutations of this row
+    object (the dirty counter); ``shared`` marks the row as
+    referenced by more than one :class:`SystemInfo` (live SI +
+    snapshots) — a shared row must be cloned before mutation
+    (copy-on-write).
+    """
+
+    __slots__ = ("mnl", "gen", "shared", "_map", "_map_gen")
+
+    def __init__(self, mnl: Optional[List[ReqTuple]] = None) -> None:
+        self.mnl: List[ReqTuple] = [] if mnl is None else mnl
+        self.gen = 0
+        self.shared = False
+        self._map = None
+        self._map_gen = -1
 
     def clone(self) -> "Row":
-        return Row(ts=self.ts, mnl=list(self.mnl))
+        """Unshared deep copy (O(|MNL|)); the clone starts unshared."""
+        row = Row.__new__(Row)
+        row.mnl = list(self.mnl)
+        row.gen = self.gen
+        row.shared = False
+        # The node map describes content, which the clone shares.
+        row._map = self._map
+        row._map_gen = self._map_gen
+        return row
+
+    def node_map(self) -> dict:
+        """``{node: ts}`` view of the MNL (Lemma 1: unique per node).
+
+        Built lazily, cached on ``gen``, and *shared across clones
+        and snapshots* — a row that propagates unmutated through many
+        hops builds its map once.  Exchange uses it to test adopted
+        rows against the handful of suspect nodes/tuples in O(1)
+        per suspect instead of scanning the whole MNL.
+        """
+        if self._map_gen != self.gen:
+            self._map = {t.node: t.ts for t in self.mnl}
+            self._map_gen = self.gen
+        return self._map
 
     def front(self) -> Optional[ReqTuple]:
-        """This row's vote: the oldest pending request it received."""
+        """This row's vote: the oldest pending request it received. O(1)."""
         return self.mnl[0] if self.mnl else None
 
+    def _assert_owned(self) -> None:
+        if self.shared:
+            raise RuntimeError(
+                "cannot mutate a shared (snapshotted) Row; take "
+                "ownership first via SystemInfo.own_row(j)"
+            )
+
     def append_unique(self, t: ReqTuple) -> bool:
-        """Append ``t`` if absent; returns True when appended.
+        """Append ``t`` if absent; returns True when appended. O(|MNL|).
 
         A node never holds two tuples for the same request (Lemma 1);
         duplicates can arrive via message merging and are dropped.
+        Mutates the row (raises if the row is shared).
         """
+        self._assert_owned()
         if t in self.mnl:
             return False
         self.mnl.append(t)
+        self.gen += 1
         return True
 
     def remove(self, t: ReqTuple) -> None:
+        """Remove ``t`` if present (no-op otherwise). O(|MNL|).
+
+        Mutates the row (raises if the row is shared).
+        """
+        self._assert_owned()
         try:
             self.mnl.remove(t)
         except ValueError:
-            pass
+            return
+        self.gen += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tuples = ",".join(t.describe() for t in self.mnl)
+        flag = "*" if self.shared else ""
+        return f"Row{flag}(mnl=[{tuples}])"
 
 
 class SystemInfo:
-    """The SI structure of one node (or the snapshot inside a message)."""
+    """The SI structure of one node (or the snapshot inside a message).
 
-    __slots__ = ("n", "nonl", "rows", "done", "next_node")
+    See the module docstring for the copy-on-write / dirty-generation
+    design.  ``gen`` is the SI-wide dirty counter: any observable
+    mutation bumps it, and the vote/position caches key off it.
+    """
+
+    __slots__ = (
+        "n",
+        "nonl",
+        "rows",
+        "row_ts",
+        "done",
+        "next_node",
+        "gen",
+        "_done_gen",
+        "_clean_done_gen",
+        "_votes_cache",
+        "_pos_cache",
+        "_max_ts",
+        "_need_share",
+        "_front_log",
+        "cow_clones",
+        "snapshots_taken",
+        "prunes_run",
+        "prunes_skipped",
+    )
 
     def __init__(self, n: int) -> None:
         self.n = n
         self.nonl: List[ReqTuple] = []
         self.rows: List[Row] = [Row() for _ in range(n)]
+        #: per-row freshness counters (the paper's row TS), parallel
+        #: to ``rows`` — kept out of Row so freshness comparisons and
+        #: bumps are plain int-list operations.
+        self.row_ts: List[int] = [0] * n
         self.done: List[int] = [0] * n
         self.next_node: Optional[int] = None
+        #: SI-wide dirty counter; bumped by every mutating method.
+        self.gen = 0
+        # Watermark bookkeeping: ``_done_gen`` counts watermark
+        # advances, ``_clean_done_gen`` remembers the watermark
+        # generation the rows/NONL were last pruned against.  Equal
+        # counters ⇒ nothing new finished ⇒ prune_done may skip.
+        self._done_gen = 0
+        self._clean_done_gen = 0
+        self._votes_cache = None
+        self._pos_cache = None
+        self._max_ts = 0
+        # Rows unshared since the last snapshot (copy-on-write
+        # epoch): the next snapshot needs to re-mark only these.
+        # None means "mark everything" (fresh SI / untracked rows).
+        self._need_share = None
+        # Pre-mutation fronts of rows touched since the last vote
+        # scan (first write wins): lets _vote_scan update the cached
+        # tally by delta instead of rescanning all N rows.  None
+        # means "rows changed outside the tracked mutators — full
+        # scan required" (reference implementations set this).
+        self._front_log: "dict | None" = {}
+        #: instrumentation: rows cloned lazily by copy-on-write
+        self.cow_clones = 0
+        #: instrumentation: snapshots taken of this SI
+        self.snapshots_taken = 0
+        #: instrumentation: prune_done full scans run / skipped
+        self.prunes_run = 0
+        self.prunes_skipped = 0
 
     # ------------------------------------------------------------------
-    # snapshots (messages carry copies, never shared references)
+    # snapshots (messages carry frozen copies) and copy-on-write
     # ------------------------------------------------------------------
     def snapshot(self) -> "SystemInfo":
-        """Deep copy of the shareable parts (Next stays local)."""
-        si = SystemInfo(self.n)
+        """Copy of the shareable parts (Next stays local). O(N).
+
+        Copy-on-write: the snapshot *shares* the live :class:`Row`
+        objects and marks them ``shared``; whoever mutates a shared
+        row first (this SI or a receiver that adopted the row) clones
+        it then.  Observably equivalent to the historical deep copy —
+        the snapshot's content can never change — without the
+        O(N · |MNL|) list copying per message.
+        """
+        si = SystemInfo.__new__(SystemInfo)
+        si.n = self.n
         si.nonl = list(self.nonl)
-        si.rows = [row.clone() for row in self.rows]
+        rows = self.rows
+        need = self._need_share
+        if need is None:
+            for row in rows:
+                row.shared = True
+        else:
+            # Only rows owned (hence unshared) since the previous
+            # snapshot can need re-marking.
+            for j in need:
+                rows[j].shared = True
+        self._need_share = []
+        si.rows = list(rows)
+        si.row_ts = list(self.row_ts)
         si.done = list(self.done)
+        si.next_node = None
+        si.gen = 0
+        si._done_gen = 0
+        # The snapshot inherits this SI's pruning state: its rows are
+        # exactly as clean w.r.t. its watermark as ours are.
+        si._clean_done_gen = 0 if self._clean_done_gen == self._done_gen else -1
+        si._votes_cache = None
+        si._pos_cache = None
+        si._max_ts = self._max_ts
+        si._need_share = []  # every row of a fresh snapshot is shared
+        si._front_log = {}
+        si.cow_clones = 0
+        si.snapshots_taken = 0
+        si.prunes_run = 0
+        si.prunes_skipped = 0
+        self.snapshots_taken += 1
         return si
+
+    def own_row(self, j: int) -> Row:
+        """Return ``rows[j]`` guaranteed unshared and safe to mutate.
+
+        Clones the row first iff it is shared (the copy-on-write
+        fault, O(|MNL|); O(1) otherwise).  Callers request ownership
+        only to mutate, so this also bumps the SI dirty counter.
+        """
+        row = self.rows[j]
+        self._log_front(j)
+        if row.shared:
+            row = row.clone()
+            self.rows[j] = row
+            self.cow_clones += 1
+            if self._need_share is not None:
+                self._need_share.append(j)
+        self.gen += 1
+        return row
+
+    def _log_front(self, j: int) -> None:
+        """Record row ``j``'s *pre-mutation* front in the delta log
+        (first write wins). O(1).  Every path that changes a row's
+        MNL — ``own_row`` callers, ``_replace_mnl``, in-place removal,
+        and exchange's row adoption — must call this before mutating,
+        or the delta vote tally goes stale."""
+        log = self._front_log
+        if log is not None and j not in log:
+            mnl = self.rows[j].mnl
+            log[j] = mnl[0] if mnl else None
+
+    def _replace_mnl(self, j: int, new_mnl: List[ReqTuple]) -> None:
+        """Install ``new_mnl`` as row ``j``'s MNL with full
+        copy-on-write/dirty bookkeeping, without the intermediate
+        list copy a ``own_row()`` + filter pair would make. O(1)
+        beyond the caller-built list."""
+        rows = self.rows
+        row = rows[j]
+        self._log_front(j)
+        if row.shared:
+            new = Row.__new__(Row)
+            new.mnl = new_mnl
+            new.gen = row.gen + 1
+            new.shared = False
+            new._map = None
+            new._map_gen = -1
+            rows[j] = new
+            self.cow_clones += 1
+            ns = self._need_share
+            if ns is not None:
+                ns.append(j)
+        else:
+            row.mnl = new_mnl
+            row.gen += 1
+        self.gen += 1
 
     # ------------------------------------------------------------------
     # watermark and pruning
     # ------------------------------------------------------------------
     def is_done(self, t: ReqTuple) -> bool:
+        """True iff ``t`` is known to have finished its CS. O(1)."""
         return t.ts <= self.done[t.node]
 
     def mark_done(self, t: ReqTuple) -> None:
+        """Raise the completion watermark to cover ``t``. O(1).
+
+        Mutates ``done`` (monotone) and flags the watermark dirty so
+        the next :meth:`prune_done` performs a real scan.
+        """
         if t.ts > self.done[t.node]:
             self.done[t.node] = t.ts
+            self.gen += 1
+            self._done_gen += 1
 
-    def merge_done(self, other_done: Iterable[int]) -> None:
-        for j, ts in enumerate(other_done):
-            if ts > self.done[j]:
-                self.done[j] = ts
+    def merge_done(self, other_done: Iterable[int]) -> bool:
+        """Pointwise-max merge of a remote watermark. O(N).
 
-    def prune_done(self) -> None:
-        """Drop finished requests from NONL and every MNL."""
+        Returns True iff any entry advanced (callers use this to
+        decide whether pruning can be skipped).
+        """
         done = self.done
-        self.nonl = [t for t in self.nonl if t.ts > done[t.node]]
-        for row in self.rows:
-            if any(t.ts <= done[t.node] for t in row.mnl):
-                row.mnl = [t for t in row.mnl if t.ts > done[t.node]]
+        if other_done == done:
+            return False
+        merged = list(map(max, done, other_done))
+        if merged == done:
+            return False
+        self.done = merged
+        self.gen += 1
+        self._done_gen += 1
+        return True
+
+    def prune_done(self, *, force: bool = False) -> bool:
+        """Drop finished requests from NONL and every MNL.
+
+        Amortised: a full O(N · |MNL|) scan runs only when the
+        watermark advanced since the previous prune (or ``force`` is
+        given); otherwise the rows are already clean and the call is
+        O(1).  Returns True iff the scan ran.
+        """
+        if not force and self._clean_done_gen == self._done_gen:
+            self.prunes_skipped += 1
+            return False
+        done = self.done
+        if self.nonl and any(t.ts <= done[t.node] for t in self.nonl):
+            self.nonl = [t for t in self.nonl if t.ts > done[t.node]]
+            self.gen += 1
+        for j, row in enumerate(self.rows):
+            for t in row.mnl:
+                if t.ts <= done[t.node]:
+                    self._replace_mnl(
+                        j, [u for u in row.mnl if u.ts > done[u.node]]
+                    )
+                    break
+        self._clean_done_gen = self._done_gen
+        self.prunes_run += 1
+        return True
 
     def remove_everywhere(self, t: ReqTuple) -> None:
-        """Delete ``t`` from all MNLs (paper: 'from any row of NSIT')."""
-        for row in self.rows:
-            row.remove(t)
+        """Delete ``t`` from all MNLs (paper: 'from any row of NSIT').
+
+        O(N · |MNL|) scan, but only rows actually holding ``t`` are
+        copy-on-write-faulted and mutated.
+        """
+        for j, row in enumerate(self.rows):
+            mnl = row.mnl
+            if t in mnl:
+                if row.shared:
+                    # Build the post-removal list directly instead of
+                    # clone-then-remove (tuples are unique per MNL).
+                    self._replace_mnl(j, [u for u in mnl if u != t])
+                else:
+                    self._log_front(j)
+                    mnl.remove(t)
+                    row.gen += 1
+                    self.gen += 1
 
     def prune_ordered_from_rows(self) -> None:
-        """Remove every NONL member from every MNL.
+        """Remove every NONL member from every MNL. O(N · |MNL|).
 
         Ordered tuples no longer compete in the vote (Order lines
         14–15); after merging remote rows this re-establishes that.
+        Only rows that actually change are faulted and mutated.
         """
         if not self.nonl:
             return
         ordered = set(self.nonl)
-        for row in self.rows:
-            if any(t in ordered for t in row.mnl):
-                row.mnl = [t for t in row.mnl if t not in ordered]
+        for j, row in enumerate(self.rows):
+            for t in row.mnl:
+                if t in ordered:
+                    self._replace_mnl(
+                        j, [u for u in row.mnl if u not in ordered]
+                    )
+                    break
 
     def normalize(self) -> None:
-        """Restore both pruning invariants after any merge."""
+        """Restore both pruning invariants after any merge.
+
+        Uses the amortised :meth:`prune_done` (skips when the
+        watermark is unchanged); see :meth:`force_normalize` for the
+        unconditional variant.
+        """
         self.prune_done()
         self.prune_ordered_from_rows()
+
+    def force_normalize(self) -> None:
+        """Full, unconditional O(N · |MNL|) restore of both pruning
+        invariants — for SIs built or mutated outside the tracked
+        mutators (tests, reference implementations)."""
+        self.prune_done(force=True)
+        self.prune_ordered_from_rows()
+
+    # ------------------------------------------------------------------
+    # NONL mutators (keep ``gen`` honest so the caches invalidate)
+    # ------------------------------------------------------------------
+    def nonl_append(self, t: ReqTuple) -> None:
+        """Commit ``t`` to the back of the NONL. O(1)."""
+        self.nonl.append(t)
+        self.gen += 1
+
+    def nonl_insert_front(self, t: ReqTuple) -> None:
+        """Place ``t`` at the head of the NONL. O(|NONL|)."""
+        self.nonl.insert(0, t)
+        self.gen += 1
+
+    def set_nonl(self, nonl: List[ReqTuple]) -> None:
+        """Replace the NONL wholesale (merge result). O(1)."""
+        self.nonl = nonl
+        self.gen += 1
 
     # ------------------------------------------------------------------
     # vote tallying (input to the Order procedure)
     # ------------------------------------------------------------------
+    def _vote_scan(self, excluded: frozenset) -> tuple:
+        """One cached O(N) pass producing both the vote tally and the
+        empty-row (unknown-vote) count, keyed on ``gen``."""
+        cache = self._votes_cache
+        gen = self.gen
+        if cache is not None and cache[1] == excluded:
+            if cache[0] == gen:
+                return cache
+            log = self._front_log
+            # Delta pays off only while few rows were touched; past
+            # half the table a fresh scan is cheaper than replaying
+            # the log against a copied tally.
+            if log is not None and len(log) * 2 < self.n:
+                # Delta update: only rows touched since the cached
+                # scan can have changed their front.  O(|touched|).
+                # Phase 1: collect actual front changes.
+                changes = None
+                rows = self.rows
+                for j, old_front in log.items():
+                    if j in excluded:
+                        continue
+                    mnl = rows[j].mnl
+                    new_front = mnl[0] if mnl else None
+                    if new_front != old_front:
+                        if changes is None:
+                            changes = [(old_front, new_front)]
+                        else:
+                            changes.append((old_front, new_front))
+                log.clear()
+                if changes is None:
+                    # Touched rows kept their fronts: restamp only.
+                    cache = (gen, excluded, cache[2], cache[3])
+                    self._votes_cache = cache
+                    return cache
+                # Phase 2: apply to a fresh dict so tallies returned
+                # earlier stay frozen at their generation.
+                votes = dict(cache[2])
+                empty = cache[3]
+                for old_front, new_front in changes:
+                    if old_front is not None:
+                        c = votes[old_front] - 1
+                        if c:
+                            votes[old_front] = c
+                        else:
+                            del votes[old_front]
+                    else:
+                        empty -= 1
+                    if new_front is not None:
+                        votes[new_front] = votes.get(new_front, 0) + 1
+                    else:
+                        empty += 1
+                cache = (gen, excluded, votes, empty)
+                self._votes_cache = cache
+                return cache
+        votes: Dict[ReqTuple, int] = {}
+        empty = 0
+        get = votes.get
+        if excluded:
+            for j, row in enumerate(self.rows):
+                if j in excluded:
+                    continue
+                mnl = row.mnl
+                if mnl:
+                    f = mnl[0]
+                    votes[f] = get(f, 0) + 1
+                else:
+                    empty += 1
+        else:
+            for mnl in map(_get_mnl, self.rows):
+                if mnl:
+                    f = mnl[0]
+                    votes[f] = get(f, 0) + 1
+                else:
+                    empty += 1
+        cache = (gen, excluded, votes, empty)
+        self._votes_cache = cache
+        # The full scan is ground truth: restart delta tracking here.
+        self._front_log = {}
+        return cache
+
     def tally_votes(self, excluded: frozenset = frozenset()) -> Dict[ReqTuple, int]:
         """Map each candidate tuple to the number of MNLs it fronts.
 
         Rows of ``excluded`` (crashed) nodes do not vote: their fronts
         can never change, so counting them could wedge the election.
+        O(N) on a dirty SI; O(1) when the SI is unchanged since the
+        last tally (gen-keyed cache, shared with
+        :meth:`empty_row_count`).  The returned dict is shared with
+        the cache — treat it as read-only.
         """
-        votes: Dict[ReqTuple, int] = {}
-        for j, row in enumerate(self.rows):
-            if j in excluded:
-                continue
-            f = row.front()
-            if f is not None:
-                votes[f] = votes.get(f, 0) + 1
-        return votes
+        return self._vote_scan(excluded)[2]
 
     def empty_row_count(self, excluded: frozenset = frozenset()) -> int:
         """Rows with no known pending request — the 'unknown votes'.
 
         Excluded rows are not unknown: the membership agreement says
         they will never vote, so the threshold closes without them.
+        O(N) on a dirty SI; O(1) cached otherwise (one scan serves
+        both this and :meth:`tally_votes`).
         """
-        return sum(
-            1
-            for j, row in enumerate(self.rows)
-            if j not in excluded and not row.mnl
-        )
+        return self._vote_scan(excluded)[3]
 
     # ------------------------------------------------------------------
     # NONL queries
     # ------------------------------------------------------------------
     def position_in_nonl(self, t: ReqTuple) -> Optional[int]:
-        try:
-            return self.nonl.index(t)
-        except ValueError:
-            return None
+        """Index of ``t`` in the NONL, or None. O(|NONL|) to build the
+        position index on a dirty SI, O(1) cached afterwards."""
+        cache = self._pos_cache
+        # The identity check catches tests replacing ``si.nonl``
+        # wholesale without going through set_nonl().
+        if cache is None or cache[0] != self.gen or cache[1] is not self.nonl:
+            index = {t: i for i, t in enumerate(self.nonl)}
+            self._pos_cache = cache = (self.gen, self.nonl, index)
+        return cache[2].get(t)
 
     def predecessor_of(self, t: ReqTuple) -> Optional[ReqTuple]:
-        """Immediate predecessor of ``t`` in the NONL, if any."""
+        """Immediate predecessor of ``t`` in the NONL, if any. O(1)
+        after the position cache is built."""
         pos = self.position_in_nonl(t)
         if pos is None or pos == 0:
             return None
         return self.nonl[pos - 1]
 
     def on_top(self, t: ReqTuple) -> bool:
+        """True iff ``t`` heads the NONL. O(1)."""
         return bool(self.nonl) and self.nonl[0] == t
 
     # ------------------------------------------------------------------
     def max_row_ts(self) -> int:
-        return max(row.ts for row in self.rows)
+        """Largest row freshness counter (Lamport-style clock). O(N).
+
+        Honest scan, usable on hand-built SIs; the protocol hot path
+        uses :meth:`next_ts`, which maintains the maximum
+        incrementally (row timestamps are monotone, so the maximum
+        only ever grows — every tracked mutation notes it).
+        """
+        return max(self.row_ts)
+
+    def note_ts(self, ts: int) -> None:
+        """Record a row-timestamp write so :meth:`next_ts` stays
+        exact. O(1).  Every protocol-path ``row_ts`` increase calls
+        this (or goes through :meth:`next_ts`/row adoption, which
+        note it themselves)."""
+        if ts > self._max_ts:
+            self._max_ts = ts
+
+    def next_ts(self) -> int:
+        """The next Lamport-style row timestamp: one above the
+        largest ever noted. O(1) replacement for
+        ``max_row_ts() + 1`` on the RM hot path."""
+        self._max_ts += 1
+        return self._max_ts
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         nonl = ",".join(t.describe() for t in self.nonl)

@@ -36,7 +36,9 @@ def merge_global_order(
 
     Greedy topological merge: repeatedly emit a tuple that is at the
     head of every list containing it.  Succeeds iff the lists are
-    pairwise order-consistent (Lemma 7).
+    pairwise order-consistent (Lemma 7).  O(T²) for T total tuples
+    (diagnostic path, not hot); pure — works on copies, never mutates
+    the input lists.
     """
     lists = [list(o) for o in orders if o]
     out: List[ReqTuple] = []
@@ -61,7 +63,12 @@ def merge_global_order(
 
 
 def check_system(nodes: Sequence[RCVNode]) -> None:
-    """One-shot verification of Lemmas 1 and 7 across ``nodes``."""
+    """One-shot verification of Lemmas 1 and 7 across ``nodes``.
+
+    O(nodes² · NONL + nodes · N · MNL); read-only — inspects every
+    node's live SI without mutating it, raising
+    :class:`ProtocolInvariantError` on the first violation.
+    """
     rcv_nodes = [n for n in nodes if isinstance(n, RCVNode)]
     # Lemma 7: pairwise order consistency.
     for i, a in enumerate(rcv_nodes):

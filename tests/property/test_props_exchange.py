@@ -27,7 +27,7 @@ def system_infos(draw, n=5):
     )
     si.nonl = [ReqTuple(j, draw(st.integers(2, 4))) for j in nodes]
     for i in range(n):
-        si.rows[i].ts = draw(st.integers(0, 6))
+        si.row_ts[i] = draw(st.integers(0, 6))
         extra = draw(
             st.lists(
                 st.integers(min_value=0, max_value=n - 1),
@@ -83,14 +83,14 @@ def test_exchange_preserves_remote_snapshot(a, b):
         list(b.nonl),
         list(b.done),
         [list(r.mnl) for r in b.rows],
-        [r.ts for r in b.rows],
+        list(b.row_ts),
     )
     exchange(a, b, on_inconsistency="count")
     after = (
         list(b.nonl),
         list(b.done),
         [list(r.mnl) for r in b.rows],
-        [r.ts for r in b.rows],
+        list(b.row_ts),
     )
     assert before == after
 

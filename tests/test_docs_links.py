@@ -1,0 +1,49 @@
+"""Documentation link check.
+
+Every relative markdown link in the documentation set must resolve to
+a real file (anchors are stripped; external http(s)/mailto links are
+skipped).  Run standalone by the CI docs step::
+
+    PYTHONPATH=src python -m pytest tests/test_docs_links.py -q
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: the documentation set the link check covers
+DOC_FILES = sorted(
+    [
+        *(REPO / "docs").glob("*.md"),
+        REPO / "ARCHITECTURE.md",
+        REPO / "ROADMAP.md",
+    ]
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path):
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_doc_set_exists():
+    assert (REPO / "docs" / "protocol.md").exists()
+    assert (REPO / "docs" / "examples.md").exists()
+    assert DOC_FILES, "documentation set is empty"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _relative_links(doc):
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken relative links {broken}"

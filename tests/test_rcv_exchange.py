@@ -101,25 +101,25 @@ def test_local_longer_nonl_kept():
 
 def test_fresher_row_replaces_staler():
     si = fresh()
-    si.rows[1].ts = 2
+    si.row_ts[1] = 2
     si.rows[1].mnl = [T(0, 1)]
     msg = fresh()
-    msg.rows[1].ts = 5
+    msg.row_ts[1] = 5
     msg.rows[1].mnl = [T(0, 1), T(3, 2)]
     exchange(si, msg)
-    assert si.rows[1].ts == 5
+    assert si.row_ts[1] == 5
     assert si.rows[1].mnl == [T(0, 1), T(3, 2)]
 
 
 def test_staler_row_does_not_replace():
     si = fresh()
-    si.rows[1].ts = 5
+    si.row_ts[1] = 5
     si.rows[1].mnl = [T(3, 2)]
     msg = fresh()
-    msg.rows[1].ts = 2
+    msg.row_ts[1] = 2
     msg.rows[1].mnl = [T(0, 1)]
     exchange(si, msg)
-    assert si.rows[1].ts == 5
+    assert si.row_ts[1] == 5
     assert si.rows[1].mnl == [T(3, 2)]
 
 
@@ -131,7 +131,7 @@ def test_fresher_row_cannot_resurrect_ordered_or_done():
     si.nonl = [T(2, 1)]
     si.done = [0, 3, 0, 0]
     msg = fresh()
-    msg.rows[3].ts = 9
+    msg.row_ts[3] = 9
     msg.rows[3].mnl = [T(2, 1), T(1, 3), T(0, 1)]
     exchange(si, msg)
     assert si.rows[3].mnl == [T(0, 1)]  # ordered T(2,1) and done T(1,3) gone
@@ -142,7 +142,7 @@ def test_message_snapshot_never_mutated():
     si.done = [9, 0, 0, 0]
     msg = fresh()
     msg.nonl = [T(0, 1)]  # finished per si's watermark
-    msg.rows[2].ts = 4
+    msg.row_ts[2] = 4
     msg.rows[2].mnl = [T(0, 1)]
     before_nonl = list(msg.nonl)
     before_mnl = list(msg.rows[2].mnl)
@@ -178,7 +178,7 @@ def test_exchange_is_idempotent():
     si = fresh()
     msg = fresh()
     msg.nonl = [T(3, 1)]
-    msg.rows[2].ts = 4
+    msg.row_ts[2] = 4
     msg.rows[2].mnl = [T(1, 2)]
     msg.done = [1, 0, 0, 0]
     exchange(si, msg)

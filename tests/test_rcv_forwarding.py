@@ -20,7 +20,7 @@ from repro.workload import BurstArrivals, PoissonArrivals, Scenario, run_scenari
 def si_with_row_ts(ts_by_node):
     si = SystemInfo(len(ts_by_node))
     for i, ts in enumerate(ts_by_node):
-        si.rows[i].ts = ts
+        si.row_ts[i] = ts
     return si
 
 

@@ -28,7 +28,7 @@ def test_rm_fields_and_describe():
     rm = RequestMessage(2, ReqTuple(2, 5), frozenset({0, 1}), si, hops=3)
     assert rm.kind == "RM"
     assert rm.home == 2
-    assert rm.unvisited == frozenset({0, 1})
+    assert rm.unvisited == (0, 1)  # sorted tuple: the rng population
     text = rm.describe()
     assert "home=2" in text and "hops=3" in text and "<2,5>" in text
 

@@ -31,9 +31,10 @@ def test_request_launches_rm_with_snapshot():
     assert dst not in msg.unvisited
     assert 2 not in msg.unvisited
     assert len(msg.unvisited) == 2
-    # snapshot independence: mutating the node's SI must not touch
-    # the in-flight message
-    h.nodes[2].si.rows[2].mnl.clear()
+    # snapshot independence: mutating the node's SI (through the
+    # copy-on-write ownership API) must not touch the in-flight
+    # message
+    h.nodes[2].si.own_row(2).mnl.clear()
     assert msg.si.rows[2].mnl == [ReqTuple(2, 1)]
 
 

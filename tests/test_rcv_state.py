@@ -27,13 +27,66 @@ def test_snapshot_is_deep_for_shared_parts():
     si.done[2] = 5
     si.next_node = 2
     snap = si.snapshot()
-    snap.rows[0].append_unique(T(2, 2))
+    # Rows are shared copy-on-write: mutation requires ownership and
+    # must not leak into the other side.
+    snap.own_row(0).append_unique(T(2, 2))
     snap.nonl.append(T(2, 2))
     snap.done[0] = 99
     assert si.rows[0].mnl == [T(0, 1)]
     assert si.nonl == [T(1, 1)]
     assert si.done[0] == 0
     assert snap.next_node is None  # Next stays local
+
+
+def test_shared_row_mutation_requires_ownership():
+    import pytest
+
+    si = SystemInfo(2)
+    si.rows[0].append_unique(T(0, 1))
+    snap = si.snapshot()
+    # Direct mutation of a shared row is a loud error, not silent
+    # snapshot corruption.
+    with pytest.raises(RuntimeError):
+        si.rows[0].append_unique(T(1, 1))
+    with pytest.raises(RuntimeError):
+        snap.rows[0].remove(T(0, 1))
+    # own_row() faults in a private copy; the snapshot is untouched.
+    si.own_row(0).append_unique(T(1, 1))
+    assert si.rows[0].mnl == [T(0, 1), T(1, 1)]
+    assert snap.rows[0].mnl == [T(0, 1)]
+    assert si.cow_clones == 1
+    assert si.snapshots_taken == 1
+
+
+def test_snapshot_shares_rows_until_mutation():
+    si = SystemInfo(3)
+    si.rows[1].append_unique(T(1, 1))
+    snap = si.snapshot()
+    # No clones yet: rows are shared by reference.
+    assert all(a is b for a, b in zip(si.rows, snap.rows))
+    assert all(r.shared for r in si.rows)
+    # Mutating one side clones only the touched row.
+    si.own_row(1).append_unique(T(2, 1))
+    assert si.rows[1] is not snap.rows[1]
+    assert si.rows[0] is snap.rows[0]
+    assert si.cow_clones == 1
+
+
+def test_prune_done_is_amortised():
+    si = SystemInfo(2)
+    si.own_row(0).append_unique(T(1, 2))
+    # Watermark untouched since construction: nothing can be
+    # outdated, so the prune is skipped outright.
+    assert si.prune_done() is False
+    si.mark_done(T(1, 1))  # ts=1 < 2: nothing outdated, but dirty
+    assert si.prune_done() is True
+    assert si.rows[0].mnl == [T(1, 2)]
+    assert si.prune_done() is False  # clean again
+    si.mark_done(T(1, 2))
+    assert si.prune_done() is True
+    assert si.rows[0].mnl == []
+    assert si.prune_done(force=True) is True  # force defeats the skip
+    assert si.prunes_skipped == 2 and si.prunes_run == 3
 
 
 def test_watermark_marks_and_prunes():
@@ -108,5 +161,5 @@ def test_nonl_queries():
 
 def test_max_row_ts():
     si = SystemInfo(3)
-    si.rows[1].ts = 7
+    si.row_ts[1] = 7
     assert si.max_row_ts() == 7
