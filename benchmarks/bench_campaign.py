@@ -1,0 +1,125 @@
+"""Scale-campaign benchmark — the N=200 wall-clock baseline.
+
+The PR-2 protocol overhaul brought an N=200 burst down to seconds;
+this bench records what the *campaign* layer built on top of it
+actually delivers: wall clock for a one-seed N∈{100, 200} RCV scale
+campaign (fresh), the same campaign resumed from a fully populated
+cell cache (which must be orders of magnitude cheaper — it
+re-simulates nothing), and the bit-for-bit equality of cached vs
+fresh results.
+
+Run as a script to (re)generate ``BENCH_campaign.json``::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py --json BENCH_campaign.json
+
+``test_campaign_cache_resume_smoke`` is the CI smoke: a tiny
+campaign (N=6/8, 2 seeds) run fresh, interrupted half-way (simulated
+by sharding), resumed, and checked cell-for-cell against the
+sequential reference path.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import CellCache, scale_campaign
+from repro.metrics.io import result_to_dict
+
+
+# ----------------------------------------------------------------------
+# CI smoke: resume + parity on a tiny campaign
+# ----------------------------------------------------------------------
+def test_campaign_cache_resume_smoke(tmp_path=None):
+    """An interrupted campaign resumes from the cache, recomputing
+    only missing cells, and cached results equal fresh ones exactly."""
+    root = tmp_path or Path(tempfile.mkdtemp(prefix="campaign-smoke-"))
+    cache = CellCache(root / "cells")
+    campaign = scale_campaign(
+        ("rcv",), n_values=(6, 8), seeds=(0, 1), requests_per_node=2
+    )
+
+    # "Interrupt": run only shard 0 of 2, as a killed campaign would
+    # leave a partially populated cache.
+    partial = campaign.run(max_workers=1, cache=cache, shard=(0, 2))
+    assert not partial.complete
+    committed = sum(1 for r in partial.results if r is not None)
+    assert 0 < committed < len(campaign.cells)
+
+    # Resume: the full run must only compute the missing cells...
+    cache.hits = cache.misses = 0
+    resumed = campaign.run(max_workers=1, cache=cache)
+    assert resumed.complete
+    assert cache.hits == committed
+    assert cache.misses == len(campaign.cells) - committed
+
+    # ...and a fully cached re-run simulates nothing.
+    cache.hits = cache.misses = 0
+    cached = campaign.run(max_workers=1, cache=cache)
+    assert cache.hits == len(campaign.cells) and cache.misses == 0
+
+    # Bit-for-bit: cached == resumed == fresh (no cache at all).
+    fresh = campaign.run(max_workers=1)
+    for a, b, c in zip(cached.results, resumed.results, fresh.results):
+        assert result_to_dict(a) == result_to_dict(b) == result_to_dict(c)
+
+
+# ----------------------------------------------------------------------
+# BENCH_campaign.json report
+# ----------------------------------------------------------------------
+def _timed_run(campaign, **kwargs):
+    start = time.perf_counter()
+    result = campaign.run(**kwargs)
+    return result, time.perf_counter() - start
+
+
+def build_report(n_values=(100, 200), seeds=(0,)):
+    campaign = scale_campaign(("rcv",), n_values=n_values, seeds=seeds)
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as tmp:
+        cache = CellCache(Path(tmp) / "cells")
+        fresh, fresh_secs = _timed_run(campaign, max_workers=1, cache=cache)
+        cached, cached_secs = _timed_run(campaign, max_workers=1, cache=cache)
+        identical = all(
+            result_to_dict(a) == result_to_dict(b)
+            for a, b in zip(fresh.results, cached.results)
+        )
+    assert identical, "cached campaign results diverged from fresh ones"
+    return {
+        "bench": (
+            "bench_campaign — RCV burst scale campaign "
+            f"(N {list(n_values)}, seeds {list(seeds)}), sequential worker"
+        ),
+        "cells": len(campaign.cells),
+        "fresh": {
+            "seconds": round(fresh_secs, 3),
+            "cells_per_sec": round(len(campaign.cells) / fresh_secs, 3),
+        },
+        "cache_resume": {
+            "seconds": round(cached_secs, 3),
+            "speedup_over_fresh": round(fresh_secs / cached_secs, 1),
+        },
+        "cached_equals_fresh": identical,
+    }
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the report to PATH (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+    report = build_report()
+    text = json.dumps(report, indent=2) + "\n"
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.json}")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@
     repro-mutex fig6 ...
     repro-mutex fig7 ...
     repro-mutex theory
+    repro-mutex campaign [--n-values 50 100 150 200] [--shard I/K]
     repro-mutex run --algorithm rcv --nodes 20 --workload burst
     repro-mutex list
 
@@ -64,6 +65,80 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("theory", help="measured vs closed-form table (§6.1)")
 
+    camp = sub.add_parser(
+        "campaign",
+        help="run a resumable scale campaign (N=50..200) with a cell cache",
+    )
+    camp.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["rcv", "maekawa"],
+        choices=algorithm_names(),
+        help="algorithms to sweep",
+    )
+    camp.add_argument(
+        "--n-values",
+        nargs="+",
+        type=int,
+        default=None,
+        help="node counts (default: 50 100 150 200)",
+    )
+    camp.add_argument("--seeds", type=int, default=3, help="repeats per point")
+    camp.add_argument(
+        "--requests-per-node",
+        type=int,
+        default=1,
+        help="burst size per node (the heavy-load table uses 3)",
+    )
+    camp.add_argument(
+        "--delay-spec",
+        default="constant:5",
+        help=(
+            "delay model: constant:D | uniform:LO:HI | "
+            "exponential:MEAN:MIN | jittered:BASE:JITTER"
+        ),
+    )
+    camp.add_argument(
+        "--cs-spec",
+        default="constant:10",
+        help="cs-time: constant:V | uniform:LO:HI | exponential:MEAN:MIN",
+    )
+    camp.add_argument(
+        "--out",
+        metavar="DIR",
+        default="campaign-out",
+        help="output directory (cell cache, raw results, summary.md)",
+    )
+    camp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: one per CPU)",
+    )
+    camp.add_argument(
+        "--shard",
+        metavar="I/K",
+        default=None,
+        help="run only cells with index %% K == I (shards share the cache)",
+    )
+    camp.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="cells per cache-commit chunk (default: 2x workers)",
+    )
+    camp.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the progress/ETA lines on stderr",
+    )
+    camp.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        default=None,
+        help="also write a BENCH_campaign.json-style timing report",
+    )
+
     run_p = sub.add_parser("run", help="run a single scenario")
     run_p.add_argument("--algorithm", default="rcv", choices=algorithm_names())
     run_p.add_argument("--nodes", type=int, default=10)
@@ -117,29 +192,39 @@ def _cmd_figure(args) -> int:
     params = _figure_args(args)
     burst, lam = params["burst"], params["lam"]
 
-    shared = None
-    if args.parallel:
-        from repro.experiments.parallel import (
-            parallel_burst_sweep,
-            parallel_lambda_sweep,
-        )
+    # Run the sweep once up front on either path (parallel twin or
+    # sequential original) and hand it to the figure function, so the
+    # raw runs are always retained and --save works without --parallel.
+    if args.command in ("fig4", "fig5"):
+        if args.parallel:
+            from repro.experiments.parallel import parallel_burst_sweep
 
-        if args.command in ("fig4", "fig5"):
             shared = parallel_burst_sweep(
                 burst["n_values"], DEFAULT_BURST_ALGOS, burst["seeds"]
             )
         else:
-            algos = (
-                ("rcv", "maekawa")
-                if args.command == "fig6"
-                else DEFAULT_BURST_ALGOS
+            from repro.experiments.figures import burst_sweep
+
+            shared = burst_sweep(
+                burst["n_values"], DEFAULT_BURST_ALGOS, burst["seeds"]
             )
+    else:
+        algos = (
+            ("rcv", "maekawa")
+            if args.command == "fig6"
+            else DEFAULT_BURST_ALGOS
+        )
+        if args.parallel:
+            from repro.experiments.parallel import parallel_lambda_sweep
+
             shared = parallel_lambda_sweep(
-                lam["inv_lambdas"],
-                algos,
-                30,
-                lam["seeds"],
-                lam["horizon"],
+                lam["inv_lambdas"], algos, 30, lam["seeds"], lam["horizon"]
+            )
+        else:
+            from repro.experiments.figures import lambda_sweep
+
+            shared = lambda_sweep(
+                lam["inv_lambdas"], algos, 30, lam["seeds"], lam["horizon"]
             )
 
     fig_fn = {
@@ -155,14 +240,12 @@ def _cmd_figure(args) -> int:
         print(render_chart(fig))
     else:
         print(render_figure(fig))
-    if args.save and shared is not None:
+    if args.save:
         from repro.metrics.io import save_results
 
         flat = [r for per_x in shared.values() for runs in per_x.values() for r in runs]
         save_results(args.save, flat)
         print(f"(raw results saved to {args.save})")
-    elif args.save:
-        print("(--save requires --parallel; raw runs are not retained otherwise)")
     return 0
 
 
@@ -170,6 +253,120 @@ def _cmd_theory(_args) -> int:
     from repro.experiments import render_rows, theory_table
 
     print(render_rows(theory_table(), title="Measured vs closed-form (§6.1)"))
+    return 0
+
+
+def _parse_spec(text: str, what: str):
+    """Parse ``kind:p1[:p2]`` CLI syntax into a CellSpec spec tuple.
+
+    ``what`` is ``"delay"`` or ``"cs_time"``.  The kind, arity, and
+    parameter ranges are all validated here — by actually building
+    the model once — so a bad spec dies with a one-line message
+    before any directories are created or pool workers launched.
+    """
+    from repro.experiments.parallel import (
+        build_cs_time,
+        build_delay_model,
+        normalize_cs_time_spec,
+        normalize_delay_spec,
+    )
+
+    parts = text.split(":")
+    kind, params = parts[0], parts[1:]
+    try:
+        spec = (kind, *[float(p) for p in params])
+    except ValueError:
+        raise SystemExit(f"malformed spec {text!r} (want kind:num[:num])")
+    flag = "--delay-spec" if what == "delay" else "--cs-spec"
+    try:
+        if what == "delay":
+            spec = normalize_delay_spec(spec)
+            build_delay_model(spec)
+        else:
+            spec = normalize_cs_time_spec(spec)
+            build_cs_time(spec)
+    except ValueError as exc:  # UnrepresentableScenarioError included
+        raise SystemExit(f"bad {flag}: {exc}")
+    return spec
+
+
+def _parse_shard(text):
+    if text is None:
+        return None
+    try:
+        index, count = text.split("/")
+        index, count = int(index), int(count)
+    except ValueError:
+        raise SystemExit(f"malformed shard {text!r} (want I/K, e.g. 0/4)")
+    if count < 1 or not (0 <= index < count):
+        raise SystemExit(
+            f"shard {text!r} out of range (want 0 <= I < K, e.g. 0/4)"
+        )
+    return (index, count)
+
+
+def _cmd_campaign(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments import CellCache, scale_campaign
+    from repro.experiments.campaign import SCALE_N_VALUES
+
+    n_values = tuple(args.n_values) if args.n_values else SCALE_N_VALUES
+    campaign = scale_campaign(
+        tuple(args.algorithms),
+        n_values=n_values,
+        seeds=tuple(range(args.seeds)),
+        requests_per_node=args.requests_per_node,
+        cs_time=_parse_spec(args.cs_spec, "cs_time"),
+        delay=_parse_spec(args.delay_spec, "delay"),
+    )
+    shard = _parse_shard(args.shard)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    cache = CellCache(out / "cells")
+
+    result = campaign.run(
+        max_workers=args.workers,
+        cache=cache,
+        shard=shard,
+        chunk_size=args.chunk_size,
+        progress=not args.no_progress,
+    )
+
+    summary = result.to_markdown()
+    print(summary)
+    (out / "summary.md").write_text(summary + "\n")
+    if result.complete:
+        result.save(out / "results.json")
+        print(f"(raw results saved to {out / 'results.json'})")
+    else:
+        done = sum(1 for r in result.results if r is not None)
+        print(
+            f"(shard run: {done}/{len(result.results)} cells in cache; "
+            "run without --shard to aggregate)"
+        )
+
+    if args.bench_json:
+        # Rate over the cells this run actually handled (cache reads
+        # + computed) — on a shard that is a fraction of the campaign.
+        processed = cache.hits + cache.writes
+        elapsed = result.elapsed_seconds
+        report = {
+            "bench": (
+                "repro.cli campaign — scale sweep wall clock "
+                f"(algorithms {list(args.algorithms)}, N {list(n_values)}, "
+                f"{args.seeds} seeds, burst x{args.requests_per_node})"
+            ),
+            "cells": len(campaign.cells),
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cells_computed": cache.writes,
+            "seconds": round(elapsed, 3),
+            "cells_per_sec": round(processed / elapsed, 3),
+        }
+        Path(args.bench_json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"(timing report written to {args.bench_json})")
     return 0
 
 
@@ -260,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "theory":
         return _cmd_theory(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "list":

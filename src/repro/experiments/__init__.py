@@ -5,9 +5,22 @@ seeds, and returns a :class:`~repro.experiments.figures.FigureData`
 holding per-point :class:`~repro.metrics.summary.Summary` values; the
 ``render`` helpers print the same series the paper plots.  The
 benchmark harness (``benchmarks/``) and the CLI both call these.
+
+Scale campaigns (N=100–200) layer on top: a
+:class:`~repro.experiments.campaign.Campaign` of picklable
+:class:`~repro.experiments.parallel.CellSpec` cells runs through
+:func:`~repro.experiments.parallel.run_cells` with an optional
+content-addressed :class:`~repro.experiments.cache.CellCache`
+(resumable, shardable — see docs/campaigns.md).
 """
 
-from repro.experiments.campaign import Campaign, CampaignResult, comparison_campaign
+from repro.experiments.cache import CellCache
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    comparison_campaign,
+    scale_campaign,
+)
 from repro.experiments.charts import render_chart
 from repro.experiments.figures import (
     FigureData,
@@ -21,17 +34,26 @@ from repro.experiments.figures import (
 )
 from repro.experiments.parallel import (
     CellSpec,
+    ProgressReporter,
+    UnrepresentableScenarioError,
     parallel_burst_sweep,
     parallel_lambda_sweep,
     run_cells,
 )
-from repro.experiments.tables import render_figure, render_rows
+from repro.experiments.tables import (
+    render_figure,
+    render_markdown,
+    render_rows,
+)
 
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CellCache",
     "CellSpec",
     "FigureData",
+    "ProgressReporter",
+    "UnrepresentableScenarioError",
     "burst_sweep",
     "figure4",
     "figure5",
@@ -44,6 +66,8 @@ __all__ = [
     "render_chart",
     "run_cells",
     "render_figure",
+    "render_markdown",
     "render_rows",
+    "scale_campaign",
     "theory_table",
 ]

@@ -1,0 +1,126 @@
+"""Content-addressed on-disk cache of simulation cells.
+
+Every :class:`~repro.experiments.parallel.CellSpec` hashes to a
+stable key (:meth:`CellSpec.cache_key` — sha256 over the normalized
+spec plus the result-format version), and the cache stores one JSON
+file per cell under ``<root>/<key[:2]>/<key>.json``.  This is what
+makes N=100–200 campaigns **resumable**: re-running a campaign (or a
+different shard of it, or the same campaign after adding cells) loads
+finished cells from disk and computes only the missing ones, and the
+loaded results are bit-for-bit identical to fresh runs (the parity
+tests pin this).
+
+Writes are atomic (temp file + ``os.replace``), so a campaign killed
+mid-write never leaves a truncated cell behind; a stale ``.tmp`` file
+is simply ignored.  Each file embeds the normalized spec alongside
+the result, so a cache directory is self-describing and a key
+collision (or a hand-edited file) is detected at load instead of
+silently returning the wrong cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.metrics.io import (
+    FORMAT_VERSION,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.metrics.records import RunResult
+
+__all__ = ["CellCache"]
+
+
+def _spec_to_jsonable(spec) -> dict:
+    spec = spec.normalized()
+    return {
+        "algorithm": spec.algorithm,
+        "n_nodes": spec.n_nodes,
+        "seed": spec.seed,
+        "workload": list(spec.workload),
+        "cs_time": list(spec.cs_time),
+        "delay": list(spec.delay),
+        "algo_kwargs": repr(spec.algo_kwargs),
+    }
+
+
+class CellCache:
+    """A directory of cached per-cell :class:`RunResult` records."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: cells served from disk / absent / written, this process
+        #: (observability — the CLI's --bench-json report prints them)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec) -> Path:
+        key = spec.cache_key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None when absent.
+
+        A file that fails to parse as JSON is treated as absent (it
+        can only arise from external interference — atomic writes
+        never leave partial files); a *parseable* file whose embedded
+        spec or format version disagrees raises, because returning it
+        would corrupt the campaign.
+        """
+        path = self.path_for(spec)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            self.misses += 1
+            return None
+        if doc.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"cached cell {path} has format_version "
+                f"{doc.get('format_version')!r}; this build reads "
+                f"{FORMAT_VERSION}"
+            )
+        if doc.get("spec") != _spec_to_jsonable(spec):
+            raise ValueError(
+                f"cached cell {path} was written for a different spec "
+                f"({doc.get('spec')!r}) — cache corruption or key "
+                "collision"
+            )
+        self.hits += 1
+        return result_from_dict(doc["result"])
+
+    def put(self, spec, result: RunResult) -> Path:
+        """Atomically persist one cell result; returns its path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format_version": FORMAT_VERSION,
+            "spec": _spec_to_jsonable(spec),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, indent=1))
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"CellCache({str(self.root)!r}, {len(self)} cells, "
+            f"hits={self.hits} misses={self.misses})"
+        )

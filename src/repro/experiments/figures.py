@@ -20,7 +20,7 @@ the original.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.metrics.records import RunResult
 from repro.metrics.summary import Summary, summarize
@@ -79,8 +79,20 @@ def burst_sweep(
     n_values: Sequence[int] = tuple(range(5, 51, 5)),
     algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
     seeds: Sequence[int] = tuple(range(5)),
+    *,
+    requests_per_node: int = 1,
+    cs_time: Optional[Callable] = None,
+    delay_model=None,
 ) -> Dict[str, Dict[int, List[RunResult]]]:
-    """Run the Figure 4/5 workload; returns results[algo][n] = runs."""
+    """Run the Figure 4/5 workload; returns results[algo][n] = runs.
+
+    ``requests_per_node``, ``cs_time`` (a scenario cs-time callable;
+    default Tc=10), and ``delay_model`` (default ConstantDelay(Tn))
+    parameterise the sweep; the parallel twin
+    :func:`repro.experiments.parallel.parallel_burst_sweep` takes the
+    same parameters (in picklable spec form) and must stay
+    bit-for-bit identical per cell — see tests/test_campaign_parity.py.
+    """
     out: Dict[str, Dict[int, List[RunResult]]] = {}
     for algo in algorithms:
         per_n: Dict[int, List[RunResult]] = {}
@@ -90,9 +102,15 @@ def burst_sweep(
                 scenario = Scenario(
                     algorithm=algo,
                     n_nodes=n,
-                    arrivals=BurstArrivals(),
+                    arrivals=BurstArrivals(
+                        requests_per_node=requests_per_node
+                    ),
                     seed=seed,
-                    cs_time=constant_cs_time(TC),
+                    cs_time=(
+                        cs_time if cs_time is not None
+                        else constant_cs_time(TC)
+                    ),
+                    delay_model=delay_model,
                 )
                 runs.append(run_scenario(scenario))
             per_n[n] = runs
@@ -162,11 +180,16 @@ def lambda_sweep(
     n_nodes: int = 30,
     seeds: Sequence[int] = tuple(range(3)),
     horizon: float = 20_000.0,
+    *,
+    cs_time: Optional[Callable] = None,
+    delay_model=None,
 ) -> Dict[str, Dict[float, List[RunResult]]]:
     """Run the Figure 6/7 workload; results[algo][1/λ] = runs.
 
     Requests stop arriving at ``horizon``; in-flight requests drain
-    (bounded at 3× horizon as a liveness backstop).
+    (bounded at 3× horizon as a liveness backstop).  ``cs_time`` and
+    ``delay_model`` parameterise the sweep exactly as in
+    :func:`burst_sweep`, mirrored by the parallel twin.
     """
     out: Dict[str, Dict[float, List[RunResult]]] = {}
     for algo in algorithms:
@@ -181,7 +204,11 @@ def lambda_sweep(
                         float(inv_lambda)
                     ),
                     seed=seed,
-                    cs_time=constant_cs_time(TC),
+                    cs_time=(
+                        cs_time if cs_time is not None
+                        else constant_cs_time(TC)
+                    ),
+                    delay_model=delay_model,
                     issue_deadline=horizon,
                     drain_deadline=horizon * 3,
                 )
@@ -238,29 +265,37 @@ def figure7(
 # ----------------------------------------------------------------------
 # §6.1 analytical table
 # ----------------------------------------------------------------------
+#: burst size of the §6.1 heavy-load runs (distinct from the
+#: Figure 4/5 single-request burst — the parallel twins must
+#: propagate it, not assume 1)
+THEORY_REQUESTS_PER_NODE = 3
+
+
 def theory_table(
     n_values: Sequence[int] = (9, 16, 25, 36, 49),
     algorithms: Sequence[str] = DEFAULT_BURST_ALGOS,
     seeds: Sequence[int] = tuple(range(3)),
+    *,
+    _shared: Optional[Dict] = None,
 ) -> List[dict]:
-    """Measured heavy-load metrics vs the §6.1/related-work model."""
+    """Measured heavy-load metrics vs the §6.1/related-work model.
+
+    ``_shared`` accepts precomputed ``burst_sweep``-shaped results
+    (e.g. from ``parallel_burst_sweep(..., requests_per_node=3)``),
+    exactly like the ``figureN`` functions.
+    """
     from repro.analysis.validate import compare_to_theory
 
+    results = _shared if _shared is not None else burst_sweep(
+        n_values,
+        algorithms,
+        seeds,
+        requests_per_node=THEORY_REQUESTS_PER_NODE,
+    )
     rows: List[dict] = []
     for algo in algorithms:
         for n in n_values:
-            runs = [
-                run_scenario(
-                    Scenario(
-                        algorithm=algo,
-                        n_nodes=n,
-                        arrivals=BurstArrivals(requests_per_node=3),
-                        seed=seed,
-                        cs_time=constant_cs_time(TC),
-                    )
-                )
-                for seed in seeds
-            ]
+            runs = results[algo][n]
             # Compare the seed-averaged run to the model.
             merged = runs[0]
             nme = summarize(r.nme for r in runs).mean

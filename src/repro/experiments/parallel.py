@@ -14,44 +14,323 @@ unified :class:`repro.engine.Engine`, and ships back the
 execution share that single construction path, so they are
 bit-for-bit identical per (cell, seed).
 
-``python -m repro.cli fig4 --parallel`` uses this path; the
-sequential path remains the default so results stay reproducible on
-machines without fork semantics.
+A :class:`CellSpec` covers the full scenario matrix the sequential
+sweeps can express — every :class:`~repro.net.delay.DelayModel`
+(constant / uniform / exponential / jittered), burst size, cs-time
+distribution, and ``algo_kwargs`` — and
+:meth:`CellSpec.from_scenario` converts a scenario back into a spec,
+raising :class:`UnrepresentableScenarioError` rather than silently
+running a different experiment.
+
+``run_cells`` optionally reads and writes a
+:class:`~repro.experiments.cache.CellCache` (content-addressed by
+:meth:`CellSpec.cache_key`), runs in cache-committed chunks so an
+interrupted campaign resumes recomputing only missing cells, reports
+progress/ETA, and accepts a ``shard=(index, count)`` filter so a
+campaign can be split across independent processes or hosts that
+share a cache directory.  See docs/campaigns.md.
+
+``python -m repro.cli fig4 --parallel`` and ``python -m repro.cli
+campaign`` use this path; the sequential path remains the default so
+results stay reproducible on machines without fork semantics.
 """
 
 from __future__ import annotations
 
 import os
+import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.metrics.records import RunResult
 
-__all__ = ["CellSpec", "run_cells", "parallel_burst_sweep", "parallel_lambda_sweep"]
+__all__ = [
+    "CellSpec",
+    "UnrepresentableScenarioError",
+    "ProgressReporter",
+    "RESULTS_EPOCH",
+    "build_cs_time",
+    "build_delay_model",
+    "delay_model_spec",
+    "normalize_cs_time_spec",
+    "normalize_delay_spec",
+    "run_cells",
+    "parallel_burst_sweep",
+    "parallel_lambda_sweep",
+]
 
 
+#: Simulation-behavior epoch, mixed into every cell cache key.  The
+#: cache identifies a cell by its *spec*, not by the code that ran it;
+#: a code change that alters simulation results (which the determinism
+#: test suite makes loud) MUST bump this, or stale cells from the old
+#: behavior would be served as if freshly computed.  Schema changes
+#: are covered separately by :data:`repro.metrics.io.FORMAT_VERSION`.
+RESULTS_EPOCH = 1
+
+
+class UnrepresentableScenarioError(ValueError):
+    """A scenario uses a component :class:`CellSpec` cannot encode.
+
+    Raised by :meth:`CellSpec.from_scenario` (and the spec codecs) so
+    a campaign never silently substitutes a different delay model,
+    arrival process, or cs-time distribution for the one requested —
+    the failure mode that previously downgraded every stochastic
+    delay model to ``ConstantDelay``.
+    """
+
+
+# ----------------------------------------------------------------------
+# spec <-> model codecs
+# ----------------------------------------------------------------------
+#: delay spec shapes accepted by :func:`build_delay_model`
+_DELAY_KINDS = {
+    "constant": 2,  # ("constant", delay)
+    "uniform": 3,  # ("uniform", low, high)
+    "exponential": 3,  # ("exponential", mean, minimum)
+    "jittered": 3,  # ("jittered", base, jitter)
+}
+
+_CS_KINDS = {
+    "constant": 2,  # ("constant", value)
+    "uniform": 3,  # ("uniform", low, high)
+    "exponential": 3,  # ("exponential", mean, minimum)
+}
+
+
+def _normalize_spec(spec, kinds, what: str) -> Tuple:
+    """Validate a spec tuple; a bare number means constant."""
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return ("constant", float(spec))
+    spec = tuple(spec)
+    if not spec or spec[0] not in kinds:
+        raise UnrepresentableScenarioError(
+            f"unknown {what} spec kind {spec[:1]!r} "
+            f"(expected one of {sorted(kinds)})"
+        )
+    if len(spec) != kinds[spec[0]]:
+        raise UnrepresentableScenarioError(
+            f"{what} spec {spec!r}: expected {kinds[spec[0]]} elements"
+        )
+    return (spec[0],) + tuple(float(v) for v in spec[1:])
+
+
+def normalize_delay_spec(spec) -> Tuple:
+    """Canonical delay spec tuple, or :class:`UnrepresentableScenarioError`."""
+    return _normalize_spec(spec, _DELAY_KINDS, "delay")
+
+
+def normalize_cs_time_spec(spec) -> Tuple:
+    """Canonical cs-time spec tuple, or :class:`UnrepresentableScenarioError`."""
+    return _normalize_spec(spec, _CS_KINDS, "cs_time")
+
+
+def build_delay_model(spec):
+    """Construct the :class:`~repro.net.delay.DelayModel` a spec names."""
+    from repro.net.delay import (
+        ConstantDelay,
+        ExponentialDelay,
+        JitteredDelay,
+        UniformDelay,
+    )
+
+    kind, *params = _normalize_spec(spec, _DELAY_KINDS, "delay")
+    if kind == "constant":
+        return ConstantDelay(params[0])
+    if kind == "uniform":
+        return UniformDelay(params[0], params[1])
+    if kind == "exponential":
+        return ExponentialDelay(params[0], minimum=params[1])
+    return JitteredDelay(params[0], params[1])
+
+
+def delay_model_spec(model) -> Tuple:
+    """Encode a delay model instance as a picklable spec tuple.
+
+    The inverse of :func:`build_delay_model`; raises
+    :class:`UnrepresentableScenarioError` for models carrying state a
+    spec cannot capture (e.g. :class:`~repro.net.delay.MatrixDelay`
+    or a jittered per-pair base).
+    """
+    from repro.net.delay import (
+        ConstantDelay,
+        ExponentialDelay,
+        JitteredDelay,
+        UniformDelay,
+    )
+
+    if model is None:
+        return ("constant", 5.0)  # the Scenario/Network default Tn
+    if type(model) is ConstantDelay:
+        return ("constant", model.delay)
+    if type(model) is UniformDelay:
+        return ("uniform", model.low, model.high)
+    if type(model) is ExponentialDelay:
+        return ("exponential", model.mean_delay, model.minimum)
+    if type(model) is JitteredDelay and not callable(model._base):
+        return ("jittered", float(model._base), model.jitter)
+    raise UnrepresentableScenarioError(
+        f"delay model {model!r} cannot be encoded as a CellSpec "
+        "(per-pair matrices and custom models are not picklable specs)"
+    )
+
+
+def build_cs_time(spec) -> Callable:
+    """Construct the tagged cs-time callable a spec names."""
+    from repro.workload.scenario import (
+        constant_cs_time,
+        exponential_cs_time,
+        uniform_cs_time,
+    )
+
+    kind, *params = _normalize_spec(spec, _CS_KINDS, "cs_time")
+    if kind == "constant":
+        return constant_cs_time(params[0])
+    if kind == "uniform":
+        return uniform_cs_time(params[0], params[1])
+    return exponential_cs_time(params[0], minimum=params[1])
+
+
+def _cs_time_spec(fn) -> Tuple:
+    """Read the spec tag the scenario cs-time factories attach."""
+    spec = getattr(fn, "spec", None)
+    if spec is None:
+        raise UnrepresentableScenarioError(
+            f"cs_time callable {fn!r} carries no spec tag; use the "
+            "factories in repro.workload.scenario "
+            "(constant/uniform/exponential_cs_time)"
+        )
+    return _normalize_spec(spec, _CS_KINDS, "cs_time")
+
+
+def _workload_spec(arrivals, issue_deadline) -> Tuple:
+    from repro.workload.arrivals import BurstArrivals, PoissonArrivals
+
+    if type(arrivals) is BurstArrivals:
+        if arrivals.start != 0.0:
+            raise UnrepresentableScenarioError(
+                "burst workloads with a delayed start are not encodable"
+            )
+        return ("burst", arrivals.requests_per_node)
+    if type(arrivals) is PoissonArrivals:
+        if issue_deadline is None:
+            raise UnrepresentableScenarioError(
+                "poisson scenarios need an issue_deadline (horizon)"
+            )
+        mean = arrivals.mean_interarrival
+        # The spec stores the mean and build_scenario re-inverts it;
+        # double float inversion is not exact for every rate, so a
+        # rate whose mean does not invert back exactly would rebuild
+        # an imperceptibly different process whose expovariate draws
+        # diverge in the last ulp — breaking bit-for-bit parity.
+        if 1.0 / mean != arrivals.rate:
+            raise UnrepresentableScenarioError(
+                f"poisson rate {arrivals.rate!r} has no exact "
+                "mean-interarrival encoding; construct the process via "
+                "PoissonArrivals.from_mean_interarrival"
+            )
+        return ("poisson", mean, float(issue_deadline))
+    raise UnrepresentableScenarioError(
+        f"arrival process {arrivals!r} cannot be encoded as a CellSpec"
+    )
+
+
+# ----------------------------------------------------------------------
+# cell specification
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CellSpec:
     """One independent simulation cell, fully picklable.
 
     ``workload`` is ``("burst", requests_per_node)`` or
-    ``("poisson", mean_interarrival, horizon)``; ``algo_kwargs`` must
-    itself be picklable (RCVConfig is a frozen dataclass — fine).
+    ``("poisson", mean_interarrival, horizon)``.  ``cs_time`` and
+    ``delay`` accept either a bare number (constant — the historical
+    form) or a spec tuple naming the distribution:
+    ``("constant", v)`` / ``("uniform", lo, hi)`` /
+    ``("exponential", mean, minimum)`` and, for delays only,
+    ``("jittered", base, jitter)``.  ``algo_kwargs`` must itself be
+    picklable and hashable (dict items tuple; RCVConfig is a frozen
+    dataclass — fine).
     """
 
     algorithm: str
     n_nodes: int
     seed: int
     workload: Tuple
-    cs_time: float = 10.0
-    delay: float = 5.0
+    cs_time: Union[float, Tuple] = 10.0
+    delay: Union[float, Tuple] = 5.0
     algo_kwargs: tuple = field(default=())  # dict items, hashable form
 
+    # ------------------------------------------------------------------
+    def normalized(self) -> "CellSpec":
+        """Canonical form: bare numbers become constant-spec tuples,
+        workload params become floats/ints, algo_kwargs sorted.  Two
+        specs describing the same cell normalize identically, so they
+        share one :meth:`cache_key`."""
+        kind = self.workload[0]
+        if kind == "burst":
+            workload = ("burst", int(self.workload[1]))
+        elif kind == "poisson":
+            workload = (
+                "poisson",
+                float(self.workload[1]),
+                float(self.workload[2]),
+            )
+        else:
+            raise ValueError(f"unknown workload kind {kind!r}")
+        return replace(
+            self,
+            workload=workload,
+            cs_time=_normalize_spec(self.cs_time, _CS_KINDS, "cs_time"),
+            delay=_normalize_spec(self.delay, _DELAY_KINDS, "delay"),
+            algo_kwargs=tuple(sorted(self.algo_kwargs)),
+        )
+
+    def cache_key(self) -> str:
+        """Content address of this cell (sha256 over the normalized
+        spec repr + result-format version).
+
+        Stable across processes and sessions: every field is a
+        number, string, or tuple/frozen-dataclass thereof, whose
+        reprs are deterministic (no ``PYTHONHASHSEED`` dependence).
+        Bumping :data:`repro.metrics.io.FORMAT_VERSION` (archive
+        schema) or :data:`RESULTS_EPOCH` (simulation behavior)
+        invalidates every cached cell, by construction.
+        """
+        import hashlib
+
+        from repro.metrics.io import FORMAT_VERSION
+
+        spec = self.normalized()
+        canon = repr(
+            (
+                FORMAT_VERSION,
+                RESULTS_EPOCH,
+                spec.algorithm,
+                spec.n_nodes,
+                spec.seed,
+                spec.workload,
+                spec.cs_time,
+                spec.delay,
+                spec.algo_kwargs,
+            )
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
     def build_scenario(self):
         from repro.workload.arrivals import BurstArrivals, PoissonArrivals
-        from repro.workload.scenario import Scenario, constant_cs_time
-        from repro.net.delay import ConstantDelay
+        from repro.workload.scenario import Scenario
 
         kind = self.workload[0]
         if kind == "burst":
@@ -70,12 +349,61 @@ class CellSpec:
             n_nodes=self.n_nodes,
             arrivals=arrivals,
             seed=self.seed,
-            cs_time=constant_cs_time(self.cs_time),
-            delay_model=ConstantDelay(self.delay),
+            cs_time=build_cs_time(self.cs_time),
+            delay_model=build_delay_model(self.delay),
             issue_deadline=issue_deadline,
             drain_deadline=drain_deadline,
             algo_kwargs=dict(self.algo_kwargs),
         )
+
+    @classmethod
+    def from_scenario(cls, scenario) -> "CellSpec":
+        """Encode a scenario as a spec, or raise
+        :class:`UnrepresentableScenarioError`.
+
+        Round-trip contract: ``CellSpec.from_scenario(s)
+        .build_scenario()`` produces a scenario that runs bit-for-bit
+        identically to ``s`` (the parity tests pin this for every
+        delay model and workload kind).
+        """
+        from repro.workload.scenario import Scenario as _Scenario
+
+        if scenario.channel is not None:
+            raise UnrepresentableScenarioError(
+                "non-default channel disciplines are not encodable"
+            )
+        if scenario.max_events != _Scenario.max_events:
+            raise UnrepresentableScenarioError(
+                f"non-default max_events ({scenario.max_events}) is not "
+                "encodable"
+            )
+        workload = _workload_spec(scenario.arrivals, scenario.issue_deadline)
+        # build_scenario derives the deadlines from the workload alone
+        # (burst: none; poisson: horizon and 3x horizon); any other
+        # combination would silently rebuild a different experiment.
+        if workload[0] == "burst":
+            if scenario.issue_deadline is not None:
+                raise UnrepresentableScenarioError(
+                    "burst scenarios with an issue_deadline are not encodable"
+                )
+            if scenario.drain_deadline is not None:
+                raise UnrepresentableScenarioError(
+                    "burst scenarios with a drain_deadline are not encodable"
+                )
+        elif scenario.drain_deadline != scenario.issue_deadline * 3:
+            raise UnrepresentableScenarioError(
+                f"poisson drain_deadline {scenario.drain_deadline!r} is not "
+                "the 3x-horizon convention build_scenario reproduces"
+            )
+        return cls(
+            algorithm=scenario.algorithm,
+            n_nodes=scenario.n_nodes,
+            seed=scenario.seed,
+            workload=workload,
+            cs_time=_cs_time_spec(scenario.cs_time),
+            delay=delay_model_spec(scenario.delay_model),
+            algo_kwargs=tuple(sorted(scenario.algo_kwargs.items())),
+        ).normalized()
 
 
 def _run_cell(spec: CellSpec) -> RunResult:
@@ -85,23 +413,145 @@ def _run_cell(spec: CellSpec) -> RunResult:
     return run_scenario(spec.build_scenario())
 
 
+# ----------------------------------------------------------------------
+# progress / ETA
+# ----------------------------------------------------------------------
+class ProgressReporter:
+    """Throttled ``done/total (pct) elapsed ETA`` lines on a stream.
+
+    Campaigns at N=200 spend seconds per cell; the reporter prints at
+    most once per ``min_interval`` seconds (and always on the final
+    cell) so progress is visible without drowning the terminal.
+    """
+
+    def __init__(self, total: int, *, stream=None, min_interval: float = 1.0):
+        self.total = total
+        self.done = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval = min_interval
+        self._start = time.perf_counter()
+        self._last_print = 0.0
+
+    def step(self, count: int = 1) -> None:
+        self.done += count
+        now = time.perf_counter()
+        if (
+            now - self._last_print < self._min_interval
+            and self.done < self.total
+        ):
+            return
+        self._last_print = now
+        elapsed = now - self._start
+        if self.done and self.done < self.total:
+            eta = elapsed / self.done * (self.total - self.done)
+            eta_text = f" ETA {eta:,.0f}s"
+        else:
+            eta_text = ""
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        print(
+            f"[campaign] {self.done}/{self.total} cells "
+            f"({pct:.0f}%) in {elapsed:,.1f}s{eta_text}",
+            file=self._stream,
+            flush=True,
+        )
+
+
+def _chunks(seq: List[int], size: int):
+    for i in range(0, len(seq), size):
+        yield seq[i : i + size]
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
 def run_cells(
     specs: Sequence[CellSpec],
     *,
     max_workers: Optional[int] = None,
-) -> List[RunResult]:
+    cache=None,
+    chunk_size: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    progress=None,
+) -> List[Optional[RunResult]]:
     """Run all cells, in parallel when more than one worker is useful.
 
     Results come back in spec order regardless of completion order, so
     parallel and sequential execution produce identical outputs (each
     cell is internally deterministic from its seed).
+
+    ``cache`` (a :class:`~repro.experiments.cache.CellCache`) makes
+    the run resumable: cached cells are loaded instead of re-run, and
+    fresh results are committed chunk by chunk, so an interrupted
+    campaign loses at most the in-flight chunk.  ``shard=(i, k)``
+    computes only cells whose index satisfies ``index % k == i``
+    (cells outside the shard still resolve from the cache when
+    present, else stay ``None``); shards sharing a cache directory
+    partition a campaign across processes or hosts.  ``progress`` is
+    a :class:`ProgressReporter` (or ``True`` for a default one);
+    steps fire per completed cell, cached or fresh.
     """
+    specs = list(specs)
+    if shard is not None:
+        index, count = shard
+        if not (0 <= index < count):
+            raise ValueError(f"shard index {index} not in [0, {count})")
+
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    pending: List[int] = []
+    resolved = 0
+    for i, spec in enumerate(specs):
+        cached = cache.get(spec) if cache is not None else None
+        if cached is not None:
+            results[i] = cached
+            resolved += 1
+            continue
+        if shard is not None and i % shard[1] != shard[0]:
+            continue
+        pending.append(i)
+
+    if progress is True:
+        # Size the reporter to the cells THIS run handles — under a
+        # shard that is far fewer than len(specs), and a total of
+        # len(specs) would inflate the ETA by the shard count and
+        # never reach 100%.
+        progress = ProgressReporter(resolved + len(pending))
+    if progress and resolved:
+        progress.step(resolved)
+
+    if not pending:
+        return results
+
     if max_workers is None:
-        max_workers = min(len(specs), os.cpu_count() or 1)
-    if max_workers <= 1 or len(specs) <= 1:
-        return [_run_cell(s) for s in specs]
+        max_workers = min(len(pending), os.cpu_count() or 1)
+    if chunk_size is None:
+        # Chunks bound the work lost to an interrupt while keeping
+        # every worker busy between cache commits.
+        chunk_size = max(1, 2 * max_workers)
+
+    def _commit(indices, chunk_results):
+        for i, result in zip(indices, chunk_results):
+            results[i] = result
+            if cache is not None:
+                cache.put(specs[i], result)
+            if progress:
+                progress.step()
+
+    if max_workers <= 1 or len(pending) <= 1:
+        for batch in _chunks(pending, chunk_size):
+            _commit(batch, [_run_cell(specs[i]) for i in batch])
+        return results
+
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_cell, specs, chunksize=1))
+        for batch in _chunks(pending, chunk_size):
+            _commit(
+                batch,
+                list(
+                    pool.map(
+                        _run_cell, [specs[i] for i in batch], chunksize=1
+                    )
+                ),
+            )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -112,17 +562,37 @@ def parallel_burst_sweep(
     algorithms: Sequence[str],
     seeds: Sequence[int],
     *,
+    requests_per_node: int = 1,
+    cs_time: Union[float, Tuple] = 10.0,
+    delay: Union[float, Tuple] = 5.0,
+    algo_kwargs: tuple = (),
     max_workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[int, List[RunResult]]]:
     """Drop-in replacement for
-    :func:`repro.experiments.figures.burst_sweep`."""
+    :func:`repro.experiments.figures.burst_sweep`.
+
+    Takes the same workload parameters as the sequential sweep —
+    ``requests_per_node``, ``cs_time``, ``delay_model`` (as a spec) —
+    so the parallel twin of *any* sequential burst sweep exists
+    (previously the burst size was hardcoded to 1, diverging from the
+    ``requests_per_node=3`` runs in :mod:`repro.experiments.figures`).
+    """
     specs = [
-        CellSpec(algorithm=a, n_nodes=n, seed=s, workload=("burst", 1))
+        CellSpec(
+            algorithm=a,
+            n_nodes=n,
+            seed=s,
+            workload=("burst", int(requests_per_node)),
+            cs_time=cs_time,
+            delay=delay,
+            algo_kwargs=algo_kwargs,
+        )
         for a in algorithms
         for n in n_values
         for s in seeds
     ]
-    results = run_cells(specs, max_workers=max_workers)
+    results = run_cells(specs, max_workers=max_workers, cache=cache)
     out: Dict[str, Dict[int, List[RunResult]]] = {
         a: {n: [] for n in n_values} for a in algorithms
     }
@@ -138,7 +608,11 @@ def parallel_lambda_sweep(
     seeds: Sequence[int],
     horizon: float,
     *,
+    cs_time: Union[float, Tuple] = 10.0,
+    delay: Union[float, Tuple] = 5.0,
+    algo_kwargs: tuple = (),
     max_workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[float, List[RunResult]]]:
     """Drop-in replacement for
     :func:`repro.experiments.figures.lambda_sweep`."""
@@ -148,12 +622,15 @@ def parallel_lambda_sweep(
             n_nodes=n_nodes,
             seed=s,
             workload=("poisson", float(v), horizon),
+            cs_time=cs_time,
+            delay=delay,
+            algo_kwargs=algo_kwargs,
         )
         for a in algorithms
         for v in inv_lambdas
         for s in seeds
     ]
-    results = run_cells(specs, max_workers=max_workers)
+    results = run_cells(specs, max_workers=max_workers, cache=cache)
     out: Dict[str, Dict[float, List[RunResult]]] = {
         a: {float(v): [] for v in inv_lambdas} for a in algorithms
     }

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Sequence
 
-__all__ = ["render_rows", "render_figure"]
+__all__ = ["render_rows", "render_figure", "render_markdown"]
 
 
 def _fmt(value) -> str:
@@ -42,6 +42,31 @@ def render_rows(rows: Sequence[Mapping], *, title: str = "") -> str:
     for row in rows:
         lines.append(
             "  ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(rows: Sequence[Mapping]) -> str:
+    """Render dict-rows as a GitHub-flavoured markdown table.
+
+    Column set is the union over rows, in first-seen order — the
+    same convention as :func:`render_rows`.  Campaign reports and
+    the CLI's ``campaign`` subcommand write their summaries with it.
+    """
+    if not rows:
+        return "(no data)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in columns) + " |"
         )
     return "\n".join(lines)
 

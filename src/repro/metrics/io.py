@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.metrics.records import CsRecord, RunResult
 
@@ -21,6 +21,7 @@ __all__ = [
     "result_from_dict",
     "save_results",
     "load_results",
+    "load_document",
 ]
 
 FORMAT_VERSION = 1
@@ -73,17 +74,27 @@ def result_from_dict(data: dict) -> RunResult:
 
 
 def save_results(
-    path: Union[str, Path], results: Sequence[RunResult]
+    path: Union[str, Path],
+    results: Sequence[RunResult],
+    *,
+    meta: Optional[dict] = None,
 ) -> None:
-    """Write results as one JSON document."""
+    """Write results as one JSON document.
+
+    ``meta`` (optional, JSON-serialisable) is stored alongside the
+    results — campaign archives use it to embed the campaign name,
+    description, and cell specs so an archive is self-describing.
+    """
     doc = {
         "format_version": FORMAT_VERSION,
         "results": [result_to_dict(r) for r in results],
     }
+    if meta is not None:
+        doc["meta"] = meta
     Path(path).write_text(json.dumps(doc, indent=1))
 
 
-def load_results(path: Union[str, Path]) -> List[RunResult]:
+def _checked_document(path: Union[str, Path]) -> dict:
     doc = json.loads(Path(path).read_text())
     version = doc.get("format_version")
     if version != FORMAT_VERSION:
@@ -91,4 +102,15 @@ def load_results(path: Union[str, Path]) -> List[RunResult]:
             f"unsupported result-archive version {version!r} "
             f"(this build reads {FORMAT_VERSION})"
         )
+    return doc
+
+
+def load_results(path: Union[str, Path]) -> List[RunResult]:
+    doc = _checked_document(path)
     return [result_from_dict(d) for d in doc["results"]]
+
+
+def load_document(path: Union[str, Path]) -> Tuple[List[RunResult], dict]:
+    """Like :func:`load_results`, plus the archive's ``meta`` dict."""
+    doc = _checked_document(path)
+    return [result_from_dict(d) for d in doc["results"]], doc.get("meta", {})

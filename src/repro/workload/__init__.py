@@ -25,7 +25,12 @@ from repro.workload.arrivals import (
     TraceArrivals,
 )
 from repro.workload.driver import NodeDriver
-from repro.workload.scenario import Scenario
+from repro.workload.scenario import (
+    Scenario,
+    constant_cs_time,
+    exponential_cs_time,
+    uniform_cs_time,
+)
 from repro.workload.runner import run_scenario
 
 __all__ = [
@@ -35,5 +40,8 @@ __all__ = [
     "PoissonArrivals",
     "Scenario",
     "TraceArrivals",
+    "constant_cs_time",
+    "exponential_cs_time",
+    "uniform_cs_time",
     "run_scenario",
 ]

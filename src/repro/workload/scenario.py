@@ -9,7 +9,12 @@ from repro.net.channels import ChannelDiscipline
 from repro.net.delay import DelayModel
 from repro.workload.arrivals import ArrivalProcess
 
-__all__ = ["Scenario"]
+__all__ = [
+    "Scenario",
+    "constant_cs_time",
+    "uniform_cs_time",
+    "exponential_cs_time",
+]
 
 
 def constant_cs_time(value: float) -> Callable:
@@ -19,6 +24,36 @@ def constant_cs_time(value: float) -> Callable:
         return value
 
     fn.__name__ = f"constant_cs_time_{value}"
+    fn.spec = ("constant", float(value))
+    return fn
+
+
+def uniform_cs_time(low: float, high: float) -> Callable:
+    """CS hold time uniform on ``[low, high]``."""
+    if not (0 <= low <= high):
+        raise ValueError("require 0 <= low <= high")
+
+    def fn(rng) -> float:
+        return rng.uniform(low, high)
+
+    fn.__name__ = f"uniform_cs_time_{low}_{high}"
+    fn.spec = ("uniform", float(low), float(high))
+    return fn
+
+
+def exponential_cs_time(mean: float, minimum: float = 0.0) -> Callable:
+    """Exponential CS hold time with the given mean, floored at
+    ``minimum`` (heavy-tailed hold times stress the ordering layer)."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if minimum < 0:
+        raise ValueError("minimum must be non-negative")
+
+    def fn(rng) -> float:
+        return minimum + rng.expovariate(1.0 / mean)
+
+    fn.__name__ = f"exponential_cs_time_{mean}_{minimum}"
+    fn.spec = ("exponential", float(mean), float(minimum))
     return fn
 
 

@@ -65,3 +65,79 @@ def test_parallel_run_matches_sequential():
     assert [r.messages_total for r in seq.results] == [
         r.messages_total for r in par.results
     ]
+
+
+# ----------------------------------------------------------------------
+# scale campaigns: specs, cache, shards
+# ----------------------------------------------------------------------
+def test_add_sweep_carries_full_scenario_space():
+    c = Campaign(name="x").add_sweep(
+        ("rcv",),
+        (5,),
+        (0,),
+        workload=("burst", 3),
+        cs_time=("uniform", 8.0, 12.0),
+        delay=("exponential", 4.0, 1.0),
+    )
+    [spec] = c.cells
+    assert spec.workload == ("burst", 3)
+    assert spec.cs_time == ("uniform", 8.0, 12.0)
+    assert spec.delay == ("exponential", 4.0, 1.0)
+    scenario = spec.build_scenario()
+    assert scenario.arrivals.requests_per_node == 3
+    assert type(scenario.delay_model).__name__ == "ExponentialDelay"
+
+
+def test_scale_campaign_defaults():
+    from repro.experiments.campaign import SCALE_N_VALUES, scale_campaign
+
+    c = scale_campaign(("rcv", "maekawa"))
+    assert {s.n_nodes for s in c.cells} == set(SCALE_N_VALUES)
+    assert len(c.cells) == 2 * len(SCALE_N_VALUES) * 3
+    assert "N in [50, 100, 150, 200]" in c.description
+
+
+def test_run_with_cache_dir_resumes(tmp_path):
+    campaign = comparison_campaign(("rcv",), n_values=(5,), seeds=(0, 1))
+    first = campaign.run(max_workers=1, cache_dir=tmp_path / "cells")
+    again = campaign.run(max_workers=1, cache_dir=tmp_path / "cells")
+    assert [r.messages_total for r in first.results] == [
+        r.messages_total for r in again.results
+    ]
+    assert (tmp_path / "cells").is_dir()
+
+
+def test_sharded_result_partial_and_save_rejected(tmp_path):
+    campaign = comparison_campaign(("rcv",), n_values=(5,), seeds=(0, 1))
+    partial = campaign.run(
+        max_workers=1, cache_dir=tmp_path / "cells", shard=(0, 2)
+    )
+    assert not partial.complete
+    assert partial.results.count(None) == 1
+    md = partial.to_markdown()
+    assert "Partial (sharded) run: 1/2" in md
+    with pytest.raises(ValueError, match="partial"):
+        partial.save(tmp_path / "nope.json")
+    # groups skip the missing cell instead of crashing
+    (runs,) = partial.grouped().values()
+    assert len(runs) == 1
+
+
+def test_save_embeds_campaign_meta(tmp_path):
+    from repro.metrics.io import load_document
+
+    campaign = small_campaign()
+    result = campaign.run(max_workers=1)
+    path = tmp_path / "archive.json"
+    result.save(path)
+    results, meta = load_document(path)
+    assert len(results) == len(campaign.cells)
+    assert meta["campaign"] == "t"
+    assert meta["cells"] == len(campaign.cells)
+    assert meta["elapsed_seconds"] >= 0
+
+
+def test_markdown_reports_wall_clock():
+    result = small_campaign().run(max_workers=1)
+    assert result.elapsed_seconds is not None
+    assert "Wall clock:" in result.to_markdown()

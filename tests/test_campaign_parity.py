@@ -1,0 +1,331 @@
+"""Parity: sequential vs parallel vs cached execution, bit-for-bit.
+
+The acceptance bar for the campaign subsystem: for **every** delay
+model and both workload kinds, the sequential reference path
+(explicit :class:`Scenario` + ``run_scenario``), the ``run_cells``
+path (sequential fallback *and* process pool), and the cell-cache
+path all produce byte-identical :class:`RunResult` payloads.  A
+campaign sharded over processes must aggregate into exactly the
+numbers a single-process sweep would print.
+"""
+
+import pytest
+
+from repro.experiments.cache import CellCache
+from repro.experiments.figures import burst_sweep, lambda_sweep
+from repro.experiments.parallel import (
+    CellSpec,
+    UnrepresentableScenarioError,
+    build_delay_model,
+    delay_model_spec,
+    parallel_burst_sweep,
+    parallel_lambda_sweep,
+    run_cells,
+)
+from repro.metrics.io import result_to_dict
+from repro.net.delay import (
+    ConstantDelay,
+    ExponentialDelay,
+    JitteredDelay,
+    MatrixDelay,
+    UniformDelay,
+)
+from repro.workload import (
+    BurstArrivals,
+    PoissonArrivals,
+    Scenario,
+    constant_cs_time,
+    exponential_cs_time,
+    run_scenario,
+    uniform_cs_time,
+)
+
+DELAY_SPECS = [
+    ("constant", 5.0),
+    ("uniform", 2.0, 8.0),
+    ("exponential", 4.0, 1.0),
+    ("jittered", 5.0, 2.0),
+]
+
+WORKLOADS = [
+    ("burst", 2),
+    ("poisson", 25.0, 400.0),
+]
+
+
+def _dicts(results):
+    return [result_to_dict(r) for r in results]
+
+
+# ----------------------------------------------------------------------
+# the headline parity matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("delay", DELAY_SPECS, ids=lambda d: d[0])
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w[0])
+def test_sequential_run_cells_and_cache_agree(delay, workload, tmp_path):
+    specs = [
+        CellSpec("rcv", 5, seed, workload, delay=delay) for seed in (0, 1)
+    ]
+
+    # Reference: hand-built scenarios through run_scenario.
+    reference = _dicts(
+        run_scenario(spec.build_scenario()) for spec in specs
+    )
+
+    # run_cells, sequential fallback.
+    assert _dicts(run_cells(specs, max_workers=1)) == reference
+
+    # run_cells, process pool.
+    assert _dicts(run_cells(specs, max_workers=2)) == reference
+
+    # Cold cache (writes), then warm cache (reads only).
+    cache = CellCache(tmp_path / "cells")
+    assert _dicts(run_cells(specs, max_workers=1, cache=cache)) == reference
+    assert cache.misses == len(specs) and cache.hits == 0
+    cache.hits = cache.misses = 0
+    assert _dicts(run_cells(specs, max_workers=1, cache=cache)) == reference
+    assert cache.hits == len(specs) and cache.misses == 0
+
+
+def test_sharded_union_equals_unsharded(tmp_path):
+    specs = [
+        CellSpec("rcv", 4, seed, ("burst", 1), delay=("uniform", 3.0, 7.0))
+        for seed in range(4)
+    ]
+    reference = _dicts(run_cells(specs, max_workers=1))
+    cache = CellCache(tmp_path / "cells")
+    for index in range(3):
+        run_cells(specs, max_workers=1, cache=cache, shard=(index, 3))
+    merged = run_cells(specs, max_workers=1, cache=cache)
+    assert cache.hits >= len(specs)  # final pass re-simulated nothing
+    assert _dicts(merged) == reference
+
+
+# ----------------------------------------------------------------------
+# sweep twins: same parameters in, same cells out
+# ----------------------------------------------------------------------
+def test_parallel_burst_sweep_propagates_requests_per_node():
+    seq = burst_sweep((6,), ("rcv",), (0, 1), requests_per_node=3)
+    par = parallel_burst_sweep(
+        (6,), ("rcv",), (0, 1), requests_per_node=3, max_workers=2
+    )
+    assert _dicts(par["rcv"][6]) == _dicts(seq["rcv"][6])
+    # 3 requests/node x 6 nodes actually happened (not the old
+    # hardcoded single-request burst).
+    assert all(r.completed_count == 18 for r in par["rcv"][6])
+
+
+def test_parallel_lambda_sweep_matches_sequential_with_delay_model():
+    delay = ("exponential", 4.0, 1.0)
+    seq = lambda_sweep(
+        (25.0,),
+        ("rcv",),
+        4,
+        (0,),
+        400.0,
+        delay_model=build_delay_model(delay),
+    )
+    par = parallel_lambda_sweep(
+        (25.0,), ("rcv",), 4, (0,), 400.0, delay=delay, max_workers=1
+    )
+    assert _dicts(par["rcv"][25.0]) == _dicts(seq["rcv"][25.0])
+
+
+def test_theory_table_shared_results_path():
+    from repro.experiments.figures import THEORY_REQUESTS_PER_NODE, theory_table
+
+    shared = parallel_burst_sweep(
+        (9,),
+        ("rcv",),
+        (0,),
+        requests_per_node=THEORY_REQUESTS_PER_NODE,
+        max_workers=1,
+    )
+    via_shared = theory_table((9,), ("rcv",), (0,), _shared=shared)
+    direct = theory_table((9,), ("rcv",), (0,))
+    assert via_shared == direct
+
+
+# ----------------------------------------------------------------------
+# spec codecs: full scenario space, loud failures
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "model",
+    [
+        ConstantDelay(7.0),
+        UniformDelay(2.0, 8.0),
+        ExponentialDelay(4.0, minimum=1.0),
+        JitteredDelay(5.0, 2.0),
+    ],
+    ids=lambda m: type(m).__name__,
+)
+def test_delay_spec_roundtrip(model):
+    rebuilt = build_delay_model(delay_model_spec(model))
+    assert type(rebuilt) is type(model)
+    assert repr(rebuilt) == repr(model)
+
+
+def test_delay_model_no_longer_silently_downgraded():
+    """The old CellSpec ran every cell with ConstantDelay(5) no
+    matter what the sweep asked for; specs now carry the model."""
+    spec = CellSpec("rcv", 5, 0, ("burst", 1), delay=("uniform", 2.0, 8.0))
+    model = spec.build_scenario().delay_model
+    assert isinstance(model, UniformDelay)
+    assert (model.low, model.high) == (2.0, 8.0)
+
+
+def test_unrepresentable_delay_model_raises():
+    matrix = MatrixDelay(lambda s, d: 1.0)
+    with pytest.raises(UnrepresentableScenarioError):
+        delay_model_spec(matrix)
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=3,
+        arrivals=BurstArrivals(),
+        delay_model=matrix,
+    )
+    with pytest.raises(UnrepresentableScenarioError):
+        CellSpec.from_scenario(scenario)
+
+
+def test_unknown_spec_kinds_raise():
+    with pytest.raises(UnrepresentableScenarioError):
+        CellSpec("rcv", 3, 0, ("burst", 1), delay=("bogus", 1.0)).normalized()
+    with pytest.raises(UnrepresentableScenarioError):
+        CellSpec("rcv", 3, 0, ("burst", 1), cs_time=("jittered", 1.0, 2.0)).normalized()
+
+
+def test_nonconventional_deadlines_and_max_events_raise():
+    """from_scenario must not drop fields build_scenario cannot
+    reproduce — it would silently rebuild a different experiment."""
+    burst_with_deadline = Scenario(
+        algorithm="rcv",
+        n_nodes=3,
+        arrivals=BurstArrivals(),
+        drain_deadline=500.0,
+    )
+    with pytest.raises(UnrepresentableScenarioError, match="drain_deadline"):
+        CellSpec.from_scenario(burst_with_deadline)
+
+    poisson_odd_drain = Scenario(
+        algorithm="rcv",
+        n_nodes=3,
+        arrivals=PoissonArrivals.from_mean_interarrival(20.0),
+        issue_deadline=300.0,
+        drain_deadline=500.0,  # not the 3x-horizon convention
+    )
+    with pytest.raises(UnrepresentableScenarioError, match="3x-horizon"):
+        CellSpec.from_scenario(poisson_odd_drain)
+
+    capped = Scenario(
+        algorithm="rcv",
+        n_nodes=3,
+        arrivals=BurstArrivals(),
+        max_events=1_000,
+    )
+    with pytest.raises(UnrepresentableScenarioError, match="max_events"):
+        CellSpec.from_scenario(capped)
+
+
+def test_poisson_mean_roundtrip_is_exact():
+    """1/(1/x) is not exact for every float; from_scenario must carry
+    the constructing mean, not a re-inverted rate (bit-for-bit)."""
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=3,
+        arrivals=PoissonArrivals.from_mean_interarrival(49.0),
+        issue_deadline=300.0,
+        drain_deadline=900.0,
+    )
+    spec = CellSpec.from_scenario(scenario)
+    assert spec.workload == ("poisson", 49.0, 300.0)
+    rebuilt = spec.build_scenario().arrivals
+    assert rebuilt.rate == scenario.arrivals.rate
+    assert result_to_dict(run_scenario(spec.build_scenario())) == (
+        result_to_dict(run_scenario(scenario))
+    )
+
+
+def test_poisson_rate_without_exact_mean_raises():
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=3,
+        arrivals=PoissonArrivals(49.0),  # 1/(1/49) != 49
+        issue_deadline=300.0,
+        drain_deadline=900.0,
+    )
+    with pytest.raises(UnrepresentableScenarioError, match="exact"):
+        CellSpec.from_scenario(scenario)
+
+
+def test_cache_key_depends_on_results_epoch(monkeypatch):
+    """Bumping the behavior epoch must invalidate every cached cell."""
+    from repro.experiments import parallel
+
+    spec = CellSpec("rcv", 5, 0, ("burst", 1))
+    before = spec.cache_key()
+    monkeypatch.setattr(parallel, "RESULTS_EPOCH", parallel.RESULTS_EPOCH + 1)
+    assert spec.cache_key() != before
+
+
+def test_untagged_cs_time_raises():
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=3,
+        arrivals=BurstArrivals(),
+        cs_time=lambda rng: 10.0,
+    )
+    with pytest.raises(UnrepresentableScenarioError, match="spec tag"):
+        CellSpec.from_scenario(scenario)
+
+
+def test_from_scenario_roundtrip_all_components():
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=4,
+        arrivals=PoissonArrivals.from_mean_interarrival(30.0),
+        seed=7,
+        cs_time=uniform_cs_time(8.0, 12.0),
+        delay_model=JitteredDelay(5.0, 2.0),
+        issue_deadline=300.0,
+        drain_deadline=900.0,
+    )
+    spec = CellSpec.from_scenario(scenario)
+    assert spec.workload == ("poisson", 30.0, 300.0)
+    assert spec.cs_time == ("uniform", 8.0, 12.0)
+    assert spec.delay == ("jittered", 5.0, 2.0)
+    assert result_to_dict(run_scenario(spec.build_scenario())) == (
+        result_to_dict(run_scenario(scenario))
+    )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: constant_cs_time(10.0),
+        lambda: uniform_cs_time(8.0, 12.0),
+        lambda: exponential_cs_time(10.0, minimum=2.0),
+    ],
+    ids=["constant", "uniform", "exponential"],
+)
+def test_cs_time_specs_are_exercised(factory):
+    """Cells built from a cs-time spec draw from that distribution
+    (and stay deterministic per seed)."""
+    fn = factory()
+    spec = CellSpec("centralized", 4, 3, ("burst", 2), cs_time=fn.spec)
+    a = run_scenario(spec.build_scenario())
+    b = run_scenario(spec.build_scenario())
+    assert result_to_dict(a) == result_to_dict(b)
+    assert a.all_completed()
+
+
+def test_cache_key_normalization_shares_entries():
+    bare = CellSpec("rcv", 5, 0, ("burst", 1), cs_time=10.0, delay=5.0)
+    tupled = CellSpec(
+        "rcv", 5, 0, ("burst", 1),
+        cs_time=("constant", 10), delay=("constant", 5),
+    )
+    assert bare.cache_key() == tupled.cache_key()
+    assert bare.cache_key() != CellSpec(
+        "rcv", 5, 0, ("burst", 1), delay=6.0
+    ).cache_key()

@@ -1,0 +1,127 @@
+"""Tests for the content-addressed cell cache (resume semantics)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import CellCache
+from repro.experiments.parallel import CellSpec, run_cells
+from repro.metrics.io import FORMAT_VERSION, result_to_dict
+
+
+def _spec(seed=0, **kw):
+    kw.setdefault("workload", ("burst", 1))
+    return CellSpec("rcv", 4, seed, **kw)
+
+
+def test_put_get_roundtrip_bit_for_bit(tmp_path):
+    cache = CellCache(tmp_path)
+    spec = _spec()
+    [fresh] = run_cells([spec], max_workers=1)
+    cache.put(spec, fresh)
+    loaded = cache.get(spec)
+    assert result_to_dict(loaded) == result_to_dict(fresh)
+    assert len(cache) == 1
+
+
+def test_get_missing_returns_none(tmp_path):
+    cache = CellCache(tmp_path)
+    assert cache.get(_spec()) is None
+    assert cache.misses == 1 and cache.hits == 0
+
+
+def test_key_is_content_addressed(tmp_path):
+    cache = CellCache(tmp_path)
+    [r] = run_cells([_spec(seed=0)], max_workers=1)
+    cache.put(_spec(seed=0), r)
+    # A different cell (different seed) does not alias it.
+    assert cache.get(_spec(seed=1)) is None
+    # The same cell written in non-canonical form does.
+    assert cache.get(_spec(seed=0, delay=("constant", 5))) is not None
+
+
+def test_resume_computes_only_missing_cells(tmp_path):
+    cache = CellCache(tmp_path)
+    specs = [_spec(seed=s) for s in range(4)]
+    run_cells(specs[:2], max_workers=1, cache=cache)
+    assert len(cache) == 2
+
+    cache.hits = cache.misses = 0
+    results = run_cells(specs, max_workers=1, cache=cache)
+    assert cache.hits == 2 and cache.misses == 2
+    assert len(cache) == 4
+    assert all(r is not None for r in results)
+
+
+def test_unparseable_cell_is_recomputed(tmp_path):
+    cache = CellCache(tmp_path)
+    spec = _spec()
+    [r] = run_cells([spec], max_workers=1, cache=cache)
+    path = cache.path_for(spec)
+    path.write_text("{ not json")
+    assert cache.get(spec) is None  # treated as absent...
+    [again] = run_cells([spec], max_workers=1, cache=cache)
+    assert result_to_dict(again) == result_to_dict(r)
+    assert cache.get(spec) is not None  # ...and rewritten
+
+
+def test_version_mismatch_fails_loudly(tmp_path):
+    cache = CellCache(tmp_path)
+    spec = _spec()
+    [r] = run_cells([spec], max_workers=1, cache=cache)
+    path = cache.path_for(spec)
+    doc = json.loads(path.read_text())
+    doc["format_version"] = FORMAT_VERSION + 999
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="format_version"):
+        cache.get(spec)
+
+
+def test_spec_mismatch_fails_loudly(tmp_path):
+    cache = CellCache(tmp_path)
+    spec = _spec()
+    [r] = run_cells([spec], max_workers=1, cache=cache)
+    path = cache.path_for(spec)
+    doc = json.loads(path.read_text())
+    doc["spec"]["seed"] = 999
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="different spec"):
+        cache.get(spec)
+
+
+def test_no_tmp_files_left_behind(tmp_path):
+    cache = CellCache(tmp_path)
+    specs = [_spec(seed=s) for s in range(3)]
+    run_cells(specs, max_workers=1, cache=cache)
+    leftovers = [p for p in tmp_path.rglob("*") if ".tmp" in p.name]
+    assert leftovers == []
+
+
+def test_shard_validation():
+    with pytest.raises(ValueError, match="shard index"):
+        run_cells([_spec()], shard=(3, 2))
+
+
+def test_progress_reporter_counts(tmp_path, capsys):
+    from repro.experiments.parallel import ProgressReporter
+
+    specs = [_spec(seed=s) for s in range(3)]
+    reporter = ProgressReporter(len(specs), min_interval=0.0)
+    run_cells(specs, max_workers=1, progress=reporter)
+    assert reporter.done == len(specs)
+    err = capsys.readouterr().err
+    assert "3/3 cells" in err and "100%" in err
+
+
+def test_default_progress_sized_to_shard(tmp_path, capsys):
+    """progress=True under a shard reports this run's cells, not the
+    whole campaign's — the ETA must not be inflated K-fold."""
+    specs = [_spec(seed=s) for s in range(4)]
+    cache = CellCache(tmp_path)
+    run_cells(specs, max_workers=1, cache=cache, shard=(0, 2), progress=True)
+    err = capsys.readouterr().err
+    assert "2/2 cells (100%)" in err
+    # Resume over the full list: 2 cached + 2 fresh, all reported.
+    run_cells(specs, max_workers=1, cache=cache, progress=True)
+    err = capsys.readouterr().err
+    assert "4/4 cells (100%)" in err

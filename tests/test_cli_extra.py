@@ -38,7 +38,11 @@ def test_cli_theory_command(capsys, monkeypatch):
     assert "rcv" in out
 
 
-def test_cli_save_without_parallel_warns(capsys, monkeypatch):
+def test_cli_save_works_without_parallel(capsys, monkeypatch, tmp_path):
+    """--save retains raw runs on the sequential path too (it used to
+    silently discard them unless --parallel was given)."""
+    from repro.metrics.io import load_results
+
     monkeypatch.setattr(
         cli,
         "_figure_args",
@@ -47,9 +51,108 @@ def test_cli_save_without_parallel_warns(capsys, monkeypatch):
             "lam": dict(inv_lambdas=(5,), seeds=(0,), horizon=300.0),
         },
     )
-    assert cli.main(["fig4", "--save", "/tmp/ignored.json"]) == 0
+    out_file = tmp_path / "raw.json"
+    assert cli.main(["fig4", "--save", str(out_file)]) == 0
     out = capsys.readouterr().out
-    assert "requires --parallel" in out
+    assert f"saved to {out_file}" in out
+    loaded = load_results(out_file)
+    assert loaded and all(r.algorithm for r in loaded)
+
+
+def test_cli_save_sequential_equals_parallel(monkeypatch, tmp_path):
+    monkeypatch.setattr(
+        cli,
+        "_figure_args",
+        lambda args: {
+            "burst": dict(n_values=(5,), seeds=(0,)),
+            "lam": dict(inv_lambdas=(5,), seeds=(0,), horizon=300.0),
+        },
+    )
+    from repro.metrics.io import load_results, result_to_dict
+
+    seq_file = tmp_path / "seq.json"
+    par_file = tmp_path / "par.json"
+    assert cli.main(["fig4", "--save", str(seq_file)]) == 0
+    assert cli.main(["fig4", "--parallel", "--save", str(par_file)]) == 0
+    seq = [result_to_dict(r) for r in load_results(seq_file)]
+    par = [result_to_dict(r) for r in load_results(par_file)]
+    assert seq == par
+
+
+def test_cli_campaign_runs_and_resumes(capsys, tmp_path):
+    out_dir = tmp_path / "camp"
+    argv = [
+        "campaign",
+        "--algorithms", "rcv",
+        "--n-values", "5", "6",
+        "--seeds", "2",
+        "--out", str(out_dir),
+        "--workers", "1",
+        "--no-progress",
+        "--bench-json", str(out_dir / "bench.json"),
+    ]
+    assert cli.main(argv) == 0
+    first = capsys.readouterr().out
+    assert "## Campaign: scale-sweep" in first
+    assert (out_dir / "summary.md").exists()
+    assert (out_dir / "results.json").exists()
+    assert (out_dir / "bench.json").exists()
+
+    import json
+
+    report = json.loads((out_dir / "bench.json").read_text())
+    assert report["cells"] == 4
+    assert report["cache_misses"] == 4
+    assert report["cells_computed"] == 4
+
+    # Second run resumes entirely from the cell cache.
+    assert cli.main(argv) == 0
+    second = capsys.readouterr().out
+    report = json.loads((out_dir / "bench.json").read_text())
+    assert report["cache_hits"] == 4 and report["cache_misses"] == 0
+    assert report["cells_computed"] == 0
+    # Same table either way.
+    table = lambda text: [l for l in text.splitlines() if l.startswith("|")]
+    assert table(first) == table(second)
+
+
+def test_cli_campaign_shard_roundtrip(capsys, tmp_path):
+    out_dir = tmp_path / "camp"
+    base = [
+        "campaign",
+        "--algorithms", "rcv",
+        "--n-values", "5",
+        "--seeds", "2",
+        "--out", str(out_dir),
+        "--workers", "1",
+        "--no-progress",
+    ]
+    assert cli.main(base + ["--shard", "0/2"]) == 0
+    assert "shard run" in capsys.readouterr().out
+    assert not (out_dir / "results.json").exists()
+    assert cli.main(base) == 0
+    assert (out_dir / "results.json").exists()
+
+
+def test_cli_campaign_rejects_malformed_args(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        cli.main(["campaign", "--delay-spec", "constant:x"])
+    with pytest.raises(SystemExit, match="bad --delay-spec"):
+        cli.main(["campaign", "--delay-spec", "jitered:5:2"])  # typo'd kind
+    with pytest.raises(SystemExit, match="bad --cs-spec"):
+        cli.main(["campaign", "--cs-spec", "jittered:5:2"])  # not a cs kind
+    with pytest.raises(SystemExit, match="bad --delay-spec"):
+        cli.main(["campaign", "--delay-spec", "constant:-5"])  # bad range
+    with pytest.raises(SystemExit, match="bad --cs-spec"):
+        cli.main(["campaign", "--cs-spec", "uniform:5:2"])  # lo > hi
+    with pytest.raises(SystemExit):
+        cli.main(["campaign", "--shard", "nope"])
+    with pytest.raises(SystemExit, match="out of range"):
+        cli.main(["campaign", "--shard", "2/2"])
+    with pytest.raises(SystemExit, match="out of range"):
+        cli.main(["campaign", "--shard", "0/0"])
 
 
 def test_cli_fig6_parallel(capsys, monkeypatch):
