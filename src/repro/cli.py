@@ -8,6 +8,7 @@
     repro-mutex fig7 ...
     repro-mutex theory
     repro-mutex campaign [--n-values 50 100 150 200] [--shard I/K]
+                 [--backend dir|sqlite] [--steal]
     repro-mutex run --algorithm rcv --nodes 20 --workload burst
     repro-mutex list
 
@@ -116,10 +117,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size (default: one per CPU)",
     )
     camp.add_argument(
+        "--backend",
+        choices=("dir", "sqlite"),
+        default="dir",
+        help=(
+            "cell-cache storage: one JSON file per cell (dir; works "
+            "across hosts on a shared filesystem) or a single WAL-mode "
+            "SQLite file (sqlite; one file for 10k cells, many worker "
+            "processes on one host — not for cross-host NFS sharing)"
+        ),
+    )
+    camp.add_argument(
         "--shard",
         metavar="I/K",
         default=None,
-        help="run only cells with index %% K == I (shards share the cache)",
+        help=(
+            "run only cells with index %% K == I (shards share the "
+            "cache); with --steal this is only a claim-priority seed"
+        ),
+    )
+    camp.add_argument(
+        "--steal",
+        action="store_true",
+        help=(
+            "work-stealing scheduling: lease pending cells through the "
+            "shared cache backend instead of a static shard split; "
+            "workers recover crashed peers' expired leases"
+        ),
+    )
+    camp.add_argument(
+        "--owner",
+        default=None,
+        help="lease owner id for --steal (default: host:pid)",
+    )
+    camp.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds a --steal lease lives before peers may steal it; "
+            "set above one chunk's wall clock (default: 60)"
+        ),
     )
     camp.add_argument(
         "--chunk-size",
@@ -324,7 +362,12 @@ def _cmd_campaign(args) -> int:
     shard = _parse_shard(args.shard)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    cache = CellCache(out / "cells")
+    if args.backend == "sqlite":
+        from repro.experiments import SQLiteBackend
+
+        cache = CellCache(backend=SQLiteBackend(out / "cells.sqlite"))
+    else:
+        cache = CellCache(out / "cells")
 
     result = campaign.run(
         max_workers=args.workers,
@@ -332,6 +375,9 @@ def _cmd_campaign(args) -> int:
         shard=shard,
         chunk_size=args.chunk_size,
         progress=not args.no_progress,
+        steal=args.steal,
+        owner=args.owner,
+        lease_ttl=args.lease_ttl,
     )
 
     summary = result.to_markdown()

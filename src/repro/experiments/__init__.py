@@ -14,6 +14,12 @@ content-addressed :class:`~repro.experiments.cache.CellCache`
 (resumable, shardable — see docs/campaigns.md).
 """
 
+from repro.experiments.backends import (
+    CacheBackend,
+    DirectoryBackend,
+    MemoryBackend,
+    SQLiteBackend,
+)
 from repro.experiments.cache import CellCache
 from repro.experiments.campaign import (
     Campaign,
@@ -47,10 +53,14 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "CacheBackend",
     "Campaign",
     "CampaignResult",
     "CellCache",
     "CellSpec",
+    "DirectoryBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
     "FigureData",
     "ProgressReporter",
     "UnrepresentableScenarioError",

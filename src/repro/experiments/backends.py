@@ -1,0 +1,364 @@
+"""Pluggable storage backends for the cell cache.
+
+:class:`~repro.experiments.cache.CellCache` is a spec-hashing façade:
+it turns a :class:`~repro.experiments.parallel.CellSpec` into an
+opaque sha256 key and a JSON document, and delegates storage to a
+:class:`CacheBackend`.  A backend stores opaque ``key -> text``
+pairs and — the part that makes distributed campaigns possible —
+arbitrates **leases** over keys, so workers on different processes or
+hosts can claim pending cells instead of partitioning them up front.
+
+Three implementations ship:
+
+* :class:`DirectoryBackend` — the original one-JSON-file-per-cell
+  directory layout (``<root>/<key[:2]>/<key>.json``).  Works over any
+  shared filesystem; leases are ``O_EXCL``-created files under
+  ``<root>/.leases/``.
+* :class:`MemoryBackend` — a dict, for tests and throwaway runs.
+* :class:`SQLiteBackend` — a single database file in WAL mode.  One
+  file instead of thousands keeps 10k-cell campaigns out of the
+  filesystem's dentry cache, and claims are single atomic UPSERTs —
+  the right arbitration primitive for many worker processes on one
+  host.  WAL needs coherent shared memory, so this backend is
+  **single-host**: workers on different machines must share a
+  :class:`DirectoryBackend` filesystem instead.
+
+Lease contract (all backends): ``claim(key, owner, ttl)`` returns
+True when ``owner`` now holds the lease — either it was free, it had
+expired (a crashed peer's lease is stolen), or ``owner`` already held
+it (re-claiming refreshes the expiry).  ``release(key, owner)`` drops
+the lease only if ``owner`` holds it.  A lease is advisory: ``put``
+never checks one, so the worst a misconfigured ttl causes is a
+duplicate computation of a deterministic cell, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Protocol, Tuple, Union
+
+__all__ = [
+    "CacheBackend",
+    "DirectoryBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+]
+
+
+class CacheBackend(Protocol):
+    """Opaque key/value store with lease arbitration.
+
+    Keys are content-address strings (the façade hashes specs into
+    them); values are opaque text (the façade uses JSON documents).
+    """
+
+    def get(self, key: str) -> Optional[str]:
+        """The stored text for ``key``, or None when absent."""
+
+    def put(self, key: str, value: str) -> None:
+        """Durably store ``value`` under ``key`` (atomic, last wins)."""
+
+    def claim(self, key: str, owner: str, ttl: float) -> bool:
+        """Try to lease ``key`` for ``owner`` for ``ttl`` seconds.
+
+        True when ``owner`` holds the lease afterwards (fresh, stolen
+        from an expired holder, or refreshed); False when a live lease
+        is held by someone else.
+        """
+
+    def release(self, key: str, owner: str) -> None:
+        """Drop the lease on ``key`` if (and only if) ``owner`` holds it."""
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored keys."""
+
+    def __len__(self) -> int:
+        """Number of stored values (leases do not count)."""
+
+
+# ----------------------------------------------------------------------
+# directory backend (the original CellCache layout)
+# ----------------------------------------------------------------------
+
+#: a tmp file whose writer's pid is gone is garbage after this grace
+#: period; one whose pid *looks* alive (pids recycle, and a writer on
+#: another NFS host has no local pid at all) is garbage after an hour —
+#: no atomic write is in flight for an hour.
+_TMP_GRACE_SECONDS = 60.0
+_TMP_MAX_AGE_SECONDS = 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+class DirectoryBackend:
+    """One JSON file per key under ``<root>/<key[:2]>/<key>.json``.
+
+    The historical ``CellCache`` on-disk layout, unchanged — caches
+    written by earlier versions keep working.  Leases are files under
+    ``<root>/.leases/`` created with ``O_EXCL`` (atomic on local
+    filesystems; close-to-open consistency over NFS makes stealing a
+    *nearly*-atomic read-then-replace there — good enough for an
+    advisory lease whose worst failure is a duplicated deterministic
+    cell).
+
+    Opening the backend garbage-collects stale ``*.tmp.<pid>`` files:
+    atomic writes go through a temp file + ``os.replace``, and a
+    worker killed between the two used to leave the temp file behind
+    forever.  A tmp file is removed when its writer's pid is dead and
+    it is older than a minute, or unconditionally after an hour (a
+    foreign host's writer has no local pid; no write is in flight for
+    an hour).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._gc_stale_tmp()
+
+    # -- storage -------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[str]:
+        try:
+            return self.path_for(key).read_text()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, value: str) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(value)
+        os.replace(tmp, path)
+
+    def keys(self) -> Iterator[str]:
+        for path in self.root.glob("*/*.json"):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    # -- leases --------------------------------------------------------
+    def _lease_path(self, key: str) -> Path:
+        return self.root / ".leases" / f"{key}.lease"
+
+    def claim(self, key: str, owner: str, ttl: float) -> bool:
+        path = self._lease_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"owner": owner, "expires": time.time() + ttl})
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                doc = json.loads(path.read_text())
+            except (FileNotFoundError, json.JSONDecodeError):
+                doc = {}  # holder vanished or wrote garbage: steal
+            if (
+                doc.get("owner") != owner
+                and doc.get("expires", 0.0) > time.time()
+            ):
+                return False
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+            return True
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        return True
+
+    def release(self, key: str, owner: str) -> None:
+        path = self._lease_path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return
+        if doc.get("owner") == owner:
+            path.unlink(missing_ok=True)
+
+    # -- maintenance ---------------------------------------------------
+    def _gc_stale_tmp(self) -> int:
+        """Remove orphaned atomic-write temp files and long-expired
+        lease files; returns the count removed.
+
+        Leases are normally unlinked on release; only crashed workers
+        leave them behind, and a stealing campaign with many crashes
+        would otherwise re-grow the thousands-of-tiny-files problem.
+        A lease whose expiry is more than an hour past is unlinked
+        (racing a concurrent re-claim in that window can only drop an
+        advisory lease — worst case one duplicated deterministic
+        cell, never a wrong result).
+        """
+        removed = 0
+        now = time.time()
+        for tmp in self.root.rglob("*.tmp.*"):
+            pid_text = tmp.name.rsplit(".", 1)[-1]
+            try:
+                age = now - tmp.stat().st_mtime
+            except FileNotFoundError:
+                continue  # a concurrent writer just renamed it
+            dead = pid_text.isdigit() and not _pid_alive(int(pid_text))
+            if (dead and age > _TMP_GRACE_SECONDS) or age > _TMP_MAX_AGE_SECONDS:
+                tmp.unlink(missing_ok=True)
+                removed += 1
+        for lease in self.root.glob(".leases/*.lease"):
+            try:
+                expires = json.loads(lease.read_text()).get("expires", 0.0)
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue  # mid-claim or already reaped
+            if now - expires > _TMP_MAX_AGE_SECONDS:
+                lease.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"DirectoryBackend({str(self.root)!r}, {len(self)} cells)"
+
+
+# ----------------------------------------------------------------------
+# in-memory backend (tests, throwaway runs)
+# ----------------------------------------------------------------------
+class MemoryBackend:
+    """Dict-backed backend; leases work across threads, not processes."""
+
+    def __init__(self) -> None:
+        self._store: Dict[str, str] = {}
+        self._leases: Dict[str, Tuple[str, float]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[str]:
+        return self._store.get(key)
+
+    def put(self, key: str, value: str) -> None:
+        self._store[key] = value
+
+    def claim(self, key: str, owner: str, ttl: float) -> bool:
+        with self._lock:
+            held = self._leases.get(key)
+            if held is not None:
+                holder, expires = held
+                if holder != owner and expires > time.time():
+                    return False
+            self._leases[key] = (owner, time.time() + ttl)
+            return True
+
+    def release(self, key: str, owner: str) -> None:
+        with self._lock:
+            held = self._leases.get(key)
+            if held is not None and held[0] == owner:
+                del self._leases[key]
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._store))
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return f"MemoryBackend({len(self)} cells)"
+
+
+# ----------------------------------------------------------------------
+# sqlite backend (single file, WAL — one host, dentry-cache-friendly)
+# ----------------------------------------------------------------------
+class SQLiteBackend:
+    """All cells in one WAL-mode SQLite file.
+
+    A 10k-cell campaign is one database file instead of 10k JSON
+    files, and a ``claim`` is a single atomic UPSERT — SQLite's
+    locking arbitrates writers from any number of processes on one
+    host.  WAL mode relies on a coherent ``-shm`` memory map, which
+    network filesystems do not provide, so do **not** point workers
+    on different hosts at one database file — use a
+    :class:`DirectoryBackend` on the shared filesystem for that.
+    ``timeout`` is the busy-wait budget for a locked database.
+    """
+
+    def __init__(self, path: Union[str, Path], *, timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            str(self.path),
+            timeout=timeout,
+            isolation_level=None,  # autocommit: every statement durable
+            check_same_thread=False,
+        )
+        self._lock = threading.Lock()
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS cells ("
+            "key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS leases ("
+            "key TEXT PRIMARY KEY, owner TEXT NOT NULL, expires REAL NOT NULL)"
+        )
+
+    def get(self, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM cells WHERE key = ?", (key,)
+            ).fetchone()
+        return row[0] if row else None
+
+    def put(self, key: str, value: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO cells(key, value) VALUES(?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+
+    def claim(self, key: str, owner: str, ttl: float) -> bool:
+        now = time.time()
+        with self._lock:
+            before = self._conn.total_changes
+            # One atomic statement: insert a fresh lease, or take over
+            # an expired/own one; a live foreign lease leaves the row
+            # untouched (the WHERE fails) and total_changes unmoved.
+            self._conn.execute(
+                "INSERT INTO leases(key, owner, expires) VALUES(?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "owner = excluded.owner, expires = excluded.expires "
+                "WHERE leases.expires <= ? OR leases.owner = excluded.owner",
+                (key, owner, now + ttl, now),
+            )
+            return self._conn.total_changes > before
+
+    def release(self, key: str, owner: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM leases WHERE key = ? AND owner = ?", (key, owner)
+            )
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            rows = self._conn.execute("SELECT key FROM cells").fetchall()
+        return iter([r[0] for r in rows])
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM cells"
+            ).fetchone()
+        return count
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"SQLiteBackend({str(self.path)!r}, {len(self)} cells)"

@@ -1,30 +1,36 @@
-"""Content-addressed on-disk cache of simulation cells.
+"""Content-addressed cache of simulation cells.
 
 Every :class:`~repro.experiments.parallel.CellSpec` hashes to a
 stable key (:meth:`CellSpec.cache_key` — sha256 over the normalized
-spec plus the result-format version), and the cache stores one JSON
-file per cell under ``<root>/<key[:2]>/<key>.json``.  This is what
-makes N=100–200 campaigns **resumable**: re-running a campaign (or a
-different shard of it, or the same campaign after adding cells) loads
-finished cells from disk and computes only the missing ones, and the
-loaded results are bit-for-bit identical to fresh runs (the parity
-tests pin this).
+spec plus the result-format version), and :class:`CellCache` stores
+one JSON document per cell in a pluggable
+:class:`~repro.experiments.backends.CacheBackend` — the original
+one-file-per-cell directory layout, an in-memory dict, or a single
+WAL-mode SQLite file (see :mod:`repro.experiments.backends`).  This
+is what makes N=100–200 campaigns **resumable and distributable**:
+re-running a campaign (or another worker pointed at the same backend)
+loads finished cells and computes only the missing ones, bit-for-bit
+identical to fresh runs (the parity tests pin this).
 
-Writes are atomic (temp file + ``os.replace``), so a campaign killed
-mid-write never leaves a truncated cell behind; a stale ``.tmp`` file
-is simply ignored.  Each file embeds the normalized spec alongside
-the result, so a cache directory is self-describing and a key
-collision (or a hand-edited file) is detected at load instead of
-silently returning the wrong cell.
+The façade owns spec hashing and document (de)serialization; the
+backend owns durability and lease arbitration.  Each document embeds
+the normalized spec alongside the result, so a cache is
+self-describing and a key collision (or a hand-edited entry) is
+detected at load instead of silently returning the wrong cell.
+
+``hits`` / ``misses`` / ``writes`` count **this process's** work
+only: cells another worker owns are probed through :meth:`peek`,
+which leaves the counters alone, so a ``--bench-json`` report from a
+sharded run describes that shard, not the whole campaign.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.experiments.backends import CacheBackend, DirectoryBackend
 from repro.metrics.io import (
     FORMAT_VERSION,
     result_from_dict,
@@ -49,12 +55,28 @@ def _spec_to_jsonable(spec) -> dict:
 
 
 class CellCache:
-    """A directory of cached per-cell :class:`RunResult` records."""
+    """Spec-hashing façade over a cell-storage backend.
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-        #: cells served from disk / absent / written, this process
+    ``CellCache(root)`` keeps the historical behavior (a
+    :class:`~repro.experiments.backends.DirectoryBackend` at
+    ``root``); ``CellCache(backend=...)`` runs over any backend.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if (root is None) == (backend is None):
+            raise TypeError("pass exactly one of root= or backend=")
+        self.backend: CacheBackend = (
+            backend if backend is not None else DirectoryBackend(root)
+        )
+        #: directory root when the backend has one (compat; None for
+        #: memory/sqlite backends)
+        self.root = getattr(self.backend, "root", None)
+        #: cells served / absent / written, this process only
         #: (observability — the CLI's --bench-json report prints them)
         self.hits = 0
         self.misses = 0
@@ -62,65 +84,114 @@ class CellCache:
 
     # ------------------------------------------------------------------
     def path_for(self, spec) -> Path:
-        key = spec.cache_key()
-        return self.root / key[:2] / f"{key}.json"
+        """The on-disk path of a cell (directory backends only)."""
+        path_for = getattr(self.backend, "path_for", None)
+        if path_for is None:
+            raise TypeError(
+                f"{type(self.backend).__name__} does not store cells as "
+                "individual files"
+            )
+        return path_for(spec.cache_key())
 
-    def get(self, spec) -> Optional[RunResult]:
-        """The cached result for ``spec``, or None when absent.
+    def _describe(self, key: str) -> str:
+        path_for = getattr(self.backend, "path_for", None)
+        return str(path_for(key)) if path_for else f"key {key}"
 
-        A file that fails to parse as JSON is treated as absent (it
-        can only arise from external interference — atomic writes
-        never leave partial files); a *parseable* file whose embedded
-        spec or format version disagrees raises, because returning it
-        would corrupt the campaign.
+    def _decode(self, text: str, spec, key: str) -> Optional[RunResult]:
+        """Parse a stored document, or None for unparseable text.
+
+        Unparseable text can only arise from external interference —
+        atomic writes never leave partial documents — so it counts as
+        a miss and the cell is recomputed.  A *parseable* document
+        whose format version or embedded spec disagrees raises,
+        because returning it would corrupt the campaign.
         """
-        path = self.path_for(spec)
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
-            self.misses += 1
-            return None
         try:
             doc = json.loads(text)
         except json.JSONDecodeError:
-            self.misses += 1
             return None
         if doc.get("format_version") != FORMAT_VERSION:
             raise ValueError(
-                f"cached cell {path} has format_version "
+                f"cached cell {self._describe(key)} has format_version "
                 f"{doc.get('format_version')!r}; this build reads "
-                f"{FORMAT_VERSION}"
+                f"{FORMAT_VERSION}. Point the campaign at a new cache "
+                "(fresh --out directory / backend file) or delete the "
+                "stale cache and re-run."
             )
         if doc.get("spec") != _spec_to_jsonable(spec):
             raise ValueError(
-                f"cached cell {path} was written for a different spec "
-                f"({doc.get('spec')!r}) — cache corruption or key "
-                "collision"
+                f"cached cell {self._describe(key)} was written for a "
+                f"different spec ({doc.get('spec')!r}) — cache corruption "
+                "or key collision; delete the entry (or start a new "
+                "cache) and re-run."
             )
-        self.hits += 1
         return result_from_dict(doc["result"])
 
-    def put(self, spec, result: RunResult) -> Path:
-        """Atomically persist one cell result; returns its path."""
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    # ------------------------------------------------------------------
+    def get(self, spec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None when absent.
+
+        Counts a hit or a miss; use :meth:`peek` for probes on behalf
+        of cells this process does not own.
+        """
+        key = spec.cache_key()
+        text = self.backend.get(key)
+        result = None if text is None else self._decode(text, spec, key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def peek(self, spec) -> Optional[RunResult]:
+        """Like :meth:`get`, but leaves the hit/miss counters alone."""
+        key = spec.cache_key()
+        text = self.backend.get(key)
+        return None if text is None else self._decode(text, spec, key)
+
+    def adopt(self, spec) -> Optional[RunResult]:
+        """A probe that counts a hit when found and nothing when not.
+
+        The work-stealing read: a pending cell that is absent is not
+        (yet) this worker's miss — a peer may be computing it — but a
+        present one is served from the cache, which is a hit.  The
+        matching miss is counted by the scheduler at claim time, when
+        this worker commits to computing the cell itself.
+        """
+        result = self.peek(spec)
+        if result is not None:
+            self.hits += 1
+        return result
+
+    def put(self, spec, result: RunResult) -> str:
+        """Atomically persist one cell result; returns its key."""
+        key = spec.cache_key()
         doc = {
             "format_version": FORMAT_VERSION,
             "spec": _spec_to_jsonable(spec),
             "result": result_to_dict(result),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(doc, indent=1))
-        os.replace(tmp, path)
+        self.backend.put(key, json.dumps(doc, indent=1))
         self.writes += 1
-        return path
+        return key
+
+    # ------------------------------------------------------------------
+    # leases (work-stealing support; see backends.CacheBackend)
+    # ------------------------------------------------------------------
+    def claim(self, spec, owner: str, ttl: float) -> bool:
+        """Try to lease ``spec``'s cell for ``owner`` (see backend)."""
+        return self.backend.claim(spec.cache_key(), owner, ttl)
+
+    def release(self, spec, owner: str) -> None:
+        """Drop ``owner``'s lease on ``spec``'s cell, if held."""
+        self.backend.release(spec.cache_key(), owner)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.backend)
 
     def __repr__(self) -> str:
         return (
-            f"CellCache({str(self.root)!r}, {len(self)} cells, "
+            f"CellCache({self.backend!r}, "
             f"hits={self.hits} misses={self.misses})"
         )

@@ -61,6 +61,7 @@ __all__ = [
     "RESULTS_EPOCH",
     "build_cs_time",
     "build_delay_model",
+    "default_owner",
     "delay_model_spec",
     "normalize_cs_time_spec",
     "normalize_delay_spec",
@@ -422,19 +423,38 @@ class ProgressReporter:
     Campaigns at N=200 spend seconds per cell; the reporter prints at
     most once per ``min_interval`` seconds (and always on the final
     cell) so progress is visible without drowning the terminal.
+
+    The ETA extrapolates from **fresh** cells only (``step(...,
+    fresh=False)`` marks cache-resumed cells): cached cells load at
+    t≈0, and dividing total elapsed by a ``done`` count that includes
+    them used to make a resumed campaign report a wildly optimistic
+    ETA for the remainder, which is all fresh work.
     """
 
-    def __init__(self, total: int, *, stream=None, min_interval: float = 1.0):
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream=None,
+        min_interval: float = 1.0,
+        clock=time.perf_counter,
+    ):
         self.total = total
         self.done = 0
+        #: cells actually simulated this run (ETA basis); cached loads
+        #: are excluded
+        self.fresh_done = 0
         self._stream = stream if stream is not None else sys.stderr
         self._min_interval = min_interval
-        self._start = time.perf_counter()
+        self._clock = clock
+        self._start = clock()
         self._last_print = 0.0
 
-    def step(self, count: int = 1) -> None:
+    def step(self, count: int = 1, *, fresh: bool = True) -> None:
         self.done += count
-        now = time.perf_counter()
+        if fresh:
+            self.fresh_done += count
+        now = self._clock()
         if (
             now - self._last_print < self._min_interval
             and self.done < self.total
@@ -442,8 +462,8 @@ class ProgressReporter:
             return
         self._last_print = now
         elapsed = now - self._start
-        if self.done and self.done < self.total:
-            eta = elapsed / self.done * (self.total - self.done)
+        if self.fresh_done and self.done < self.total:
+            eta = elapsed / self.fresh_done * (self.total - self.done)
             eta_text = f" ETA {eta:,.0f}s"
         else:
             eta_text = ""
@@ -464,6 +484,13 @@ def _chunks(seq: List[int], size: int):
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
+def default_owner() -> str:
+    """Identity a work-stealing worker leases cells under."""
+    import socket
+
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
 def run_cells(
     specs: Sequence[CellSpec],
     *,
@@ -472,6 +499,11 @@ def run_cells(
     chunk_size: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     progress=None,
+    steal: bool = False,
+    owner: Optional[str] = None,
+    lease_ttl: float = 60.0,
+    poll_interval: float = 0.05,
+    steal_timeout: Optional[float] = None,
 ) -> List[Optional[RunResult]]:
     """Run all cells, in parallel when more than one worker is useful.
 
@@ -479,44 +511,85 @@ def run_cells(
     parallel and sequential execution produce identical outputs (each
     cell is internally deterministic from its seed).
 
-    ``cache`` (a :class:`~repro.experiments.cache.CellCache`) makes
-    the run resumable: cached cells are loaded instead of re-run, and
-    fresh results are committed chunk by chunk, so an interrupted
-    campaign loses at most the in-flight chunk.  ``shard=(i, k)``
-    computes only cells whose index satisfies ``index % k == i``
-    (cells outside the shard still resolve from the cache when
-    present, else stay ``None``); shards sharing a cache directory
-    partition a campaign across processes or hosts.  ``progress`` is
-    a :class:`ProgressReporter` (or ``True`` for a default one);
-    steps fire per completed cell, cached or fresh.
+    ``cache`` (a :class:`~repro.experiments.cache.CellCache`, over any
+    backend) makes the run resumable: cached cells are loaded instead
+    of re-run, and fresh results are committed chunk by chunk, so an
+    interrupted campaign loses at most the in-flight chunk.
+
+    **Static sharding** — ``shard=(i, k)`` computes only cells whose
+    index satisfies ``index % k == i`` (cells outside the shard still
+    resolve from the cache when present, else stay ``None``); shards
+    sharing a cache partition a campaign across processes or hosts.
+    Only cells this worker may compute touch the cache hit/miss
+    counters; out-of-shard cells are probed without counting.
+
+    **Work stealing** — ``steal=True`` (requires ``cache``) replaces
+    the static partition with lease-based claiming through the shared
+    backend: each worker claims up to ``chunk_size`` pending cells at
+    a time (``cache.claim(key, owner, lease_ttl)``), computes and
+    commits them, and releases the leases.  Cells leased by a live
+    peer are deferred and re-polled every ``poll_interval`` seconds —
+    either the peer commits the cell (it is adopted from the cache)
+    or its lease expires (a crashed peer) and the cell is re-claimed
+    and recomputed here.  A stealing run therefore always returns a
+    complete result list.  ``shard`` degrades to a *priority seed*:
+    this worker claims its own shard's cells first, then steals the
+    rest.  Pick ``lease_ttl`` comfortably above one chunk's wall
+    clock; a too-short ttl only duplicates deterministic work, never
+    corrupts results.  ``steal_timeout`` bounds how long the worker
+    will go *without making progress* while foreign leases block it
+    (None: wait as long as it takes).
+
+    ``progress`` is a :class:`ProgressReporter` (or ``True`` for a
+    default one); steps fire per completed cell — cached/adopted
+    cells step with ``fresh=False`` so the ETA tracks fresh
+    throughput.
     """
     specs = list(specs)
     if shard is not None:
         index, count = shard
         if not (0 <= index < count):
             raise ValueError(f"shard index {index} not in [0, {count})")
+    if steal:
+        if cache is None:
+            raise ValueError("steal=True requires a cache (shared backend)")
+        owner = owner or default_owner()
 
     results: List[Optional[RunResult]] = [None] * len(specs)
     pending: List[int] = []
     resolved = 0
     for i, spec in enumerate(specs):
-        cached = cache.get(spec) if cache is not None else None
-        if cached is not None:
-            results[i] = cached
-            resolved += 1
-            continue
-        if shard is not None and i % shard[1] != shard[0]:
-            continue
-        pending.append(i)
+        # A stealing worker may end up computing any cell; a static
+        # shard only its own.  The hit/miss counters must describe
+        # this worker's work, so out-of-shard cells resolve through
+        # peek(), and under steal a pending cell is NOT a miss yet —
+        # a peer may compute it; the miss is counted at claim time,
+        # when this worker commits to doing the work itself.
+        mine = steal or shard is None or i % shard[1] == shard[0]
+        if cache is not None:
+            if steal:
+                cached = cache.adopt(spec)
+            else:
+                cached = cache.get(spec) if mine else cache.peek(spec)
+            if cached is not None:
+                results[i] = cached
+                resolved += 1
+                continue
+        if mine:
+            pending.append(i)
+    if steal and shard is not None:
+        # Compatibility: the static partition becomes a claim-priority
+        # seed — own-shard cells first, the rest stolen afterwards.
+        pending.sort(key=lambda i: (i % shard[1] != shard[0], i))
 
     if progress is True:
         # Size the reporter to the cells THIS run handles — under a
-        # shard that is far fewer than len(specs), and a total of
-        # len(specs) would inflate the ETA by the shard count and
+        # static shard that is far fewer than len(specs), and a total
+        # of len(specs) would inflate the ETA by the shard count and
         # never reach 100%.
         progress = ProgressReporter(resolved + len(pending))
     if progress and resolved:
-        progress.step(resolved)
+        progress.step(resolved, fresh=False)
 
     if not pending:
         return results
@@ -525,32 +598,104 @@ def run_cells(
         max_workers = min(len(pending), os.cpu_count() or 1)
     if chunk_size is None:
         # Chunks bound the work lost to an interrupt while keeping
-        # every worker busy between cache commits.
-        chunk_size = max(1, 2 * max_workers)
+        # every worker busy between cache commits.  Without a cache
+        # (or a progress reporter, which only steps at commit time)
+        # there is nothing to commit, so the chunk barrier would only
+        # idle pool workers at each boundary — run one batch.
+        if cache is None and not progress:
+            chunk_size = len(pending)
+        else:
+            chunk_size = max(1, 2 * max_workers)
 
     def _commit(indices, chunk_results):
         for i, result in zip(indices, chunk_results):
             results[i] = result
             if cache is not None:
                 cache.put(specs[i], result)
+                if steal:
+                    cache.release(specs[i], owner)
             if progress:
                 progress.step()
 
+    def _steal_loop(run_batch):
+        # Stall clock: time since this worker last made progress
+        # (claimed, adopted, or committed) — NOT since the loop
+        # started, so long healthy runs never trip steal_timeout.
+        last_progress = time.monotonic()
+        backoff = poll_interval
+        work = list(pending)
+        while work:
+            claimed: List[int] = []
+            deferred: List[int] = []
+            adopted = 0
+            for i in work:
+                cached = cache.adopt(specs[i])
+                if cached is not None:
+                    # A peer committed it since our last look.
+                    results[i] = cached
+                    adopted += 1
+                    if progress:
+                        progress.step(fresh=False)
+                    continue
+                if len(claimed) < chunk_size and cache.claim(
+                    specs[i], owner, lease_ttl
+                ):
+                    # Now it's this worker's cell to compute: the miss
+                    # is real (and exactly matches a later write).
+                    cache.misses += 1
+                    claimed.append(i)
+                else:
+                    deferred.append(i)
+            if claimed:
+                try:
+                    _commit(claimed, run_batch(claimed))
+                finally:
+                    # On an exception mid-batch, free the uncommitted
+                    # leases immediately so peers take the cells over
+                    # now instead of after lease_ttl (release is
+                    # owner-checked and idempotent, so re-releasing
+                    # the committed ones is a no-op).
+                    for i in claimed:
+                        if results[i] is None:
+                            cache.release(specs[i], owner)
+            if claimed or adopted:
+                last_progress = time.monotonic()
+                backoff = poll_interval
+            elif deferred:
+                # Everything left is leased by live peers: wait for
+                # them to commit or for their leases to expire,
+                # backing off so a blocked worker does not hammer the
+                # shared backend with fruitless probe/claim rounds.
+                if (
+                    steal_timeout is not None
+                    and time.monotonic() - last_progress > steal_timeout
+                ):
+                    raise RuntimeError(
+                        f"work-stealing run stalled: {len(deferred)} "
+                        f"cells held by other workers for over "
+                        f"{steal_timeout}s without progress"
+                    )
+                time.sleep(backoff)
+                backoff = min(backoff * 2, 1.0)
+            work = deferred
+
+    def _execute(run_batch):
+        if steal:
+            _steal_loop(run_batch)
+        else:
+            for batch in _chunks(pending, chunk_size):
+                _commit(batch, run_batch(batch))
+
     if max_workers <= 1 or len(pending) <= 1:
-        for batch in _chunks(pending, chunk_size):
-            _commit(batch, [_run_cell(specs[i]) for i in batch])
+        _execute(lambda batch: [_run_cell(specs[i]) for i in batch])
         return results
 
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for batch in _chunks(pending, chunk_size):
-            _commit(
-                batch,
-                list(
-                    pool.map(
-                        _run_cell, [specs[i] for i in batch], chunksize=1
-                    )
-                ),
+        _execute(
+            lambda batch: list(
+                pool.map(_run_cell, [specs[i] for i in batch], chunksize=1)
             )
+        )
     return results
 
 

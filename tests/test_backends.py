@@ -1,0 +1,222 @@
+"""Contract tests for the pluggable cell-cache backends.
+
+Every backend (directory, memory, sqlite) must satisfy the same
+storage semantics (opaque key/value, atomic last-wins put) and the
+same lease contract (claim/release with ttl expiry and takeover) —
+the work-stealing scheduler in ``run_cells`` relies on nothing else.
+"""
+
+import json
+import os
+import subprocess
+import time
+
+import pytest
+
+from repro.experiments.backends import (
+    DirectoryBackend,
+    MemoryBackend,
+    SQLiteBackend,
+)
+from repro.experiments.cache import CellCache
+from repro.experiments.parallel import CellSpec, run_cells
+from repro.metrics.io import result_to_dict
+
+BACKEND_KINDS = ("dir", "memory", "sqlite")
+
+
+def make_backend(kind, tmp_path):
+    if kind == "dir":
+        return DirectoryBackend(tmp_path / "cells")
+    if kind == "memory":
+        return MemoryBackend()
+    return SQLiteBackend(tmp_path / "cells.sqlite")
+
+
+@pytest.fixture(params=BACKEND_KINDS)
+def backend(request, tmp_path):
+    return make_backend(request.param, tmp_path)
+
+
+# ----------------------------------------------------------------------
+# storage contract
+# ----------------------------------------------------------------------
+def test_get_put_roundtrip(backend):
+    assert backend.get("k1") is None
+    backend.put("k1", "hello")
+    backend.put("k2", "world")
+    assert backend.get("k1") == "hello"
+    assert len(backend) == 2
+    assert sorted(backend.keys()) == ["k1", "k2"]
+
+
+def test_put_is_last_wins(backend):
+    backend.put("k", "old")
+    backend.put("k", "new")
+    assert backend.get("k") == "new"
+    assert len(backend) == 1
+
+
+# ----------------------------------------------------------------------
+# lease contract (what work stealing is built on)
+# ----------------------------------------------------------------------
+def test_claim_excludes_live_foreign_leases(backend):
+    assert backend.claim("k", "alice", ttl=60.0)
+    assert not backend.claim("k", "bob", ttl=60.0)
+    # re-claiming your own lease refreshes it
+    assert backend.claim("k", "alice", ttl=60.0)
+
+
+def test_expired_lease_is_stolen(backend):
+    assert backend.claim("k", "crashed-worker", ttl=0.05)
+    time.sleep(0.06)
+    assert backend.claim("k", "survivor", ttl=60.0)
+    # ...and the takeover is exclusive again
+    assert not backend.claim("k", "third", ttl=60.0)
+
+
+def test_release_frees_only_own_lease(backend):
+    assert backend.claim("k", "alice", ttl=60.0)
+    backend.release("k", "bob")  # not the holder: no-op
+    assert not backend.claim("k", "carol", ttl=60.0)
+    backend.release("k", "alice")
+    assert backend.claim("k", "carol", ttl=60.0)
+
+
+def test_leases_do_not_count_as_cells(backend):
+    backend.claim("k", "alice", ttl=60.0)
+    assert len(backend) == 0
+    assert backend.get("k") is None
+
+
+# ----------------------------------------------------------------------
+# persistence across reopen (the shared-backend scenario)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ("dir", "sqlite"))
+def test_reopen_sees_previous_writes(kind, tmp_path):
+    first = make_backend(kind, tmp_path)
+    first.put("k", "v")
+    assert first.claim("lease", "alice", ttl=60.0)
+    second = make_backend(kind, tmp_path)
+    assert second.get("k") == "v"
+    # the lease is shared state too: a second process cannot take it
+    assert not second.claim("lease", "bob", ttl=60.0)
+
+
+def test_sqlite_uses_wal(tmp_path):
+    backend = SQLiteBackend(tmp_path / "cells.sqlite")
+    (mode,) = backend._conn.execute("PRAGMA journal_mode").fetchone()
+    assert mode == "wal"
+
+
+# ----------------------------------------------------------------------
+# stale tmp-file garbage collection (directory backend)
+# ----------------------------------------------------------------------
+def _dead_pid() -> int:
+    """A pid that certainly existed and is certainly dead now."""
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+def test_open_collects_dead_writers_tmp_files(tmp_path):
+    root = tmp_path / "cells"
+    sub = root / "ab"
+    sub.mkdir(parents=True)
+    stale = sub / f"deadbeef.tmp.{_dead_pid()}"
+    stale.write_text("{ partial")
+    two_minutes_ago = time.time() - 120
+    os.utime(stale, (two_minutes_ago, two_minutes_ago))
+    # a live writer's fresh tmp file must survive the sweep
+    inflight = sub / f"cafef00d.tmp.{os.getpid()}"
+    inflight.write_text("{ in-flight")
+
+    DirectoryBackend(root)  # opening the cache runs the GC
+
+    assert not stale.exists()
+    assert inflight.exists()
+
+
+def test_open_collects_ancient_tmp_files_regardless_of_pid(tmp_path):
+    """Cross-host NFS writers have no local pid; age catches them."""
+    root = tmp_path / "cells"
+    sub = root / "cd"
+    sub.mkdir(parents=True)
+    ancient = sub / f"feedface.tmp.{os.getpid()}"  # pid alive, file ancient
+    ancient.write_text("{ abandoned")
+    two_hours_ago = time.time() - 7200
+    os.utime(ancient, (two_hours_ago, two_hours_ago))
+
+    DirectoryBackend(root)
+
+    assert not ancient.exists()
+
+
+def test_open_collects_long_expired_lease_files(tmp_path):
+    """Crashed stealing workers leave .lease files behind; opening
+    the cache reaps leases whose expiry is long past (live and
+    recently expired ones — still steal-relevant — survive)."""
+    root = tmp_path / "cells"
+    backend = DirectoryBackend(root)
+    assert backend.claim("livekey", "alice", ttl=3600.0)
+    ancient = root / ".leases" / "crashedkey.lease"
+    ancient.write_text(
+        json.dumps({"owner": "ghost", "expires": time.time() - 7200})
+    )
+
+    DirectoryBackend(root)
+
+    assert not ancient.exists()
+    assert (root / ".leases" / "livekey.lease").exists()
+
+
+def test_gc_leaves_cells_and_leases_alone(tmp_path):
+    root = tmp_path / "cells"
+    backend = DirectoryBackend(root)
+    backend.put("aabbcc", json.dumps({"v": 1}))
+    backend.claim("aabbcc", "alice", ttl=60.0)
+    reopened = DirectoryBackend(root)
+    assert reopened.get("aabbcc") == json.dumps({"v": 1})
+    assert not reopened.claim("aabbcc", "bob", ttl=60.0)
+
+
+# ----------------------------------------------------------------------
+# CellCache façade over every backend
+# ----------------------------------------------------------------------
+def _spec(seed=0):
+    return CellSpec("rcv", 4, seed, ("burst", 1))
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+def test_cell_cache_roundtrip_over_any_backend(kind, tmp_path):
+    cache = CellCache(backend=make_backend(kind, tmp_path))
+    spec = _spec()
+    [fresh] = run_cells([spec], max_workers=1)
+    cache.put(spec, fresh)
+    assert result_to_dict(cache.get(spec)) == result_to_dict(fresh)
+    assert len(cache) == 1
+    assert cache.hits == 1 and cache.writes == 1
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+def test_peek_leaves_counters_alone(kind, tmp_path):
+    cache = CellCache(backend=make_backend(kind, tmp_path))
+    spec = _spec()
+    assert cache.peek(spec) is None
+    [fresh] = run_cells([spec], max_workers=1, cache=cache)
+    cache.hits = cache.misses = 0
+    assert result_to_dict(cache.peek(spec)) == result_to_dict(fresh)
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_path_for_requires_a_directory_backend(tmp_path):
+    cache = CellCache(backend=MemoryBackend())
+    with pytest.raises(TypeError, match="individual files"):
+        cache.path_for(_spec())
+
+
+def test_cell_cache_wants_exactly_one_of_root_or_backend(tmp_path):
+    with pytest.raises(TypeError, match="exactly one"):
+        CellCache()
+    with pytest.raises(TypeError, match="exactly one"):
+        CellCache(tmp_path, backend=MemoryBackend())

@@ -87,18 +87,121 @@ def test_sequential_run_cells_and_cache_agree(delay, workload, tmp_path):
     assert cache.hits == len(specs) and cache.misses == 0
 
 
-def test_sharded_union_equals_unsharded(tmp_path):
-    specs = [
+# one source of truth for the backend matrix: tests/test_backends.py
+from test_backends import BACKEND_KINDS, make_backend
+
+
+def _make_cache(kind, tmp_path):
+    if kind == "dir":
+        return CellCache(tmp_path / "cells")  # the historical entry point
+    return CellCache(backend=make_backend(kind, tmp_path))
+
+
+def _steal_specs():
+    return [
         CellSpec("rcv", 4, seed, ("burst", 1), delay=("uniform", 3.0, 7.0))
         for seed in range(4)
     ]
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+def test_sharded_union_equals_unsharded(kind, tmp_path):
+    specs = _steal_specs()
     reference = _dicts(run_cells(specs, max_workers=1))
-    cache = CellCache(tmp_path / "cells")
+    cache = _make_cache(kind, tmp_path)
     for index in range(3):
         run_cells(specs, max_workers=1, cache=cache, shard=(index, 3))
     merged = run_cells(specs, max_workers=1, cache=cache)
     assert cache.hits >= len(specs)  # final pass re-simulated nothing
     assert _dicts(merged) == reference
+
+
+# ----------------------------------------------------------------------
+# work stealing: sequential = pooled = static shards = stolen union
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+def test_work_stealing_matches_sequential(kind, tmp_path):
+    specs = _steal_specs()
+    reference = _dicts(run_cells(specs, max_workers=1))
+    cache = _make_cache(kind, tmp_path)
+
+    stolen = run_cells(
+        specs,
+        max_workers=1,
+        cache=cache,
+        steal=True,
+        owner="worker-1",
+        steal_timeout=60.0,
+    )
+    assert _dicts(stolen) == reference
+    assert cache.writes == len(specs)
+    # a miss is counted only for cells this worker claimed and
+    # computed — under steal it must match writes exactly
+    assert cache.misses == cache.writes
+
+    # A second stealing worker arriving late adopts everything from
+    # the shared backend and computes nothing.
+    cache.hits = cache.misses = cache.writes = 0
+    again = run_cells(
+        specs,
+        max_workers=1,
+        cache=cache,
+        steal=True,
+        owner="worker-2",
+        steal_timeout=60.0,
+    )
+    assert _dicts(again) == reference
+    assert cache.hits == len(specs)
+    assert cache.writes == 0
+    assert cache.misses == 0  # it computed (and thus missed) nothing
+
+
+def test_steal_with_shard_priority_completes_everything(tmp_path):
+    """shard=(i, k) under steal=True is a claim-priority seed, not a
+    filter: a lone worker finishes the whole campaign (stealing the
+    other shards' cells), bit-for-bit equal to the sequential run."""
+    specs = _steal_specs()
+    reference = _dicts(run_cells(specs, max_workers=1))
+    cache = _make_cache("sqlite", tmp_path)
+    result = run_cells(
+        specs,
+        max_workers=1,
+        cache=cache,
+        steal=True,
+        shard=(0, 2),
+        owner="worker-0",
+        steal_timeout=60.0,
+    )
+    assert all(r is not None for r in result)  # no None holes
+    assert _dicts(result) == reference
+
+
+def test_steal_recovers_a_crashed_peers_expired_leases(tmp_path):
+    """Cells leased by a worker that died without committing are
+    re-claimed after the ttl and recomputed by the survivor."""
+    specs = _steal_specs()
+    reference = _dicts(run_cells(specs, max_workers=1))
+    cache = _make_cache("sqlite", tmp_path)
+    for spec in specs[:2]:  # the "crashed peer" leased two cells...
+        assert cache.claim(spec, "ghost", ttl=0.2)
+
+    result = run_cells(
+        specs,
+        max_workers=1,
+        cache=cache,
+        steal=True,
+        owner="survivor",
+        lease_ttl=30.0,
+        poll_interval=0.02,
+        steal_timeout=60.0,
+    )
+    assert _dicts(result) == reference
+    assert cache.writes == len(specs)  # ...which the survivor redid
+
+
+def test_steal_requires_a_cache():
+    with pytest.raises(ValueError, match="requires a cache"):
+        run_cells(_steal_specs(), steal=True)
 
 
 # ----------------------------------------------------------------------

@@ -65,6 +65,22 @@ def test_unparseable_cell_is_recomputed(tmp_path):
     assert cache.get(spec) is not None  # ...and rewritten
 
 
+def test_truncated_cell_is_a_miss_and_recomputed(tmp_path):
+    """A cell truncated by external interference (the JSON cuts off
+    mid-document) is treated as absent, not a crash."""
+    cache = CellCache(tmp_path)
+    spec = _spec()
+    [r] = run_cells([spec], max_workers=1, cache=cache)
+    path = cache.path_for(spec)
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])
+    cache.hits = cache.misses = 0
+    assert cache.get(spec) is None
+    assert cache.misses == 1 and cache.hits == 0
+    [again] = run_cells([spec], max_workers=1, cache=cache)
+    assert result_to_dict(again) == result_to_dict(r)
+
+
 def test_version_mismatch_fails_loudly(tmp_path):
     cache = CellCache(tmp_path)
     spec = _spec()
@@ -74,6 +90,9 @@ def test_version_mismatch_fails_loudly(tmp_path):
     doc["format_version"] = FORMAT_VERSION + 999
     path.write_text(json.dumps(doc))
     with pytest.raises(ValueError, match="format_version"):
+        cache.get(spec)
+    # the error must name the remedy, not just the problem
+    with pytest.raises(ValueError, match="new cache"):
         cache.get(spec)
 
 
@@ -87,6 +106,31 @@ def test_spec_mismatch_fails_loudly(tmp_path):
     path.write_text(json.dumps(doc))
     with pytest.raises(ValueError, match="different spec"):
         cache.get(spec)
+
+
+def test_stale_tmp_from_dead_writer_collected_on_open(tmp_path):
+    """A worker killed between write_text and os.replace used to
+    leave ``*.tmp.<pid>`` files behind forever; opening the cache now
+    garbage-collects them (dead writer pid + past the grace period)."""
+    import os
+    import subprocess
+    import time
+
+    cache = CellCache(tmp_path)
+    spec = _spec()
+    [r] = run_cells([spec], max_workers=1, cache=cache)
+    dead = subprocess.Popen(["true"])
+    dead.wait()
+    orphan = cache.path_for(spec).with_suffix(f".tmp.{dead.pid}")
+    orphan.parent.mkdir(parents=True, exist_ok=True)
+    orphan.write_text('{"format_version": 1, "sp')  # killed mid-write
+    stale_time = time.time() - 120
+    os.utime(orphan, (stale_time, stale_time))
+
+    reopened = CellCache(tmp_path)
+    assert not orphan.exists()
+    # the committed cell is untouched
+    assert result_to_dict(reopened.get(spec)) == result_to_dict(r)
 
 
 def test_no_tmp_files_left_behind(tmp_path):
@@ -111,6 +155,55 @@ def test_progress_reporter_counts(tmp_path, capsys):
     assert reporter.done == len(specs)
     err = capsys.readouterr().err
     assert "3/3 cells" in err and "100%" in err
+
+
+def test_shard_counters_only_count_own_cells(tmp_path):
+    """hits/misses describe THIS worker's work: probing a cell that
+    belongs to another static shard must not count a miss (it used
+    to, misstating the --bench-json report K-fold)."""
+    specs = [_spec(seed=s) for s in range(4)]
+    cache = CellCache(tmp_path)
+    run_cells(specs, max_workers=1, cache=cache, shard=(0, 2))
+    assert cache.misses == 2 and cache.hits == 0 and cache.writes == 2
+
+    # The other shard commits its cells (its own counters likewise
+    # cover only its two cells)...
+    cache.hits = cache.misses = cache.writes = 0
+    run_cells(specs, max_workers=1, cache=cache, shard=(1, 2))
+    assert cache.misses == 2 and cache.hits == 0 and cache.writes == 2
+
+    # ...and a shard-0 re-run serves its own cells as hits while
+    # still resolving the out-of-shard cells — uncounted.
+    cache.hits = cache.misses = cache.writes = 0
+    results = run_cells(specs, max_workers=1, cache=cache, shard=(0, 2))
+    assert all(r is not None for r in results)
+    assert cache.hits == 2 and cache.misses == 0 and cache.writes == 0
+
+
+def test_eta_is_based_on_fresh_cells_only(capsys):
+    """A resumed campaign loads cached cells at t≈0; the ETA for the
+    fresh remainder must come from fresh-cell throughput (elapsed /
+    done over all cells used to promise a wildly optimistic finish)."""
+    from repro.experiments.parallel import ProgressReporter
+
+    clock = {"now": 0.0}
+    reporter = ProgressReporter(
+        4, min_interval=0.0, clock=lambda: clock["now"]
+    )
+    reporter.step(2, fresh=False)  # cache-resumed, instantaneous
+    clock["now"] = 10.0
+    reporter.step()  # first fresh cell: 10s
+    line = capsys.readouterr().err.splitlines()[-1]
+    # 1 fresh cell in 10s, 1 cell to go -> 10s (not 10/3 * 1 = 3s)
+    assert "ETA 10s" in line
+
+
+def test_no_eta_before_the_first_fresh_cell(capsys):
+    from repro.experiments.parallel import ProgressReporter
+
+    reporter = ProgressReporter(4, min_interval=0.0)
+    reporter.step(2, fresh=False)
+    assert "ETA" not in capsys.readouterr().err
 
 
 def test_default_progress_sized_to_shard(tmp_path, capsys):

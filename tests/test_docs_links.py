@@ -19,6 +19,7 @@ DOC_FILES = sorted(
     [
         *(REPO / "docs").glob("*.md"),
         REPO / "ARCHITECTURE.md",
+        REPO / "EXPERIMENTS.md",
         REPO / "ROADMAP.md",
     ]
 )
