@@ -19,19 +19,32 @@ sequential reference path.  ``test_campaign_work_stealing_smoke`` is
 its distributed twin: two processes over one shared SQLite backend,
 one killed after a single commit with cells still leased, the
 survivor stealing the expired leases and finishing — union checked
-bit-for-bit.  The report additionally records the two-worker
-stolen-vs-static wall clock on the N∈{50..200} sweep (static
-``index % 2`` shards pay for their imbalance; stealing does not).
+bit-for-bit.  ``test_campaign_http_stealing_smoke`` is the
+shared-nothing variant: a real ``python -m repro.cli cell-server``
+subprocess, a victim worker killed mid-campaign, and a survivor that
+finishes over HTTP alone.  The report additionally records the
+two-worker stolen-vs-static wall clock on the N∈{50..200} sweep
+(static ``index % 2`` shards pay for their imbalance; stealing does
+not) and the served-HTTP-vs-shared-SQLite stealing wall clock (what
+the network round trip per cell operation actually costs).
 """
 
 import json
 import multiprocessing
 import os
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
 
-from repro.experiments import CellCache, SQLiteBackend, scale_campaign
+from repro.experiments import (
+    CellCache,
+    CellServer,
+    ServiceBackend,
+    SQLiteBackend,
+    scale_campaign,
+)
 from repro.metrics.io import result_to_dict
 
 
@@ -89,7 +102,15 @@ def _smoke_campaign():
     )
 
 
-def _victim_worker(root: str, lease_ttl: float) -> None:
+def _shared_backend(locator: str):
+    """The shared backend a worker process opens: an ``http://`` cell
+    server URL or a directory holding the shared SQLite file."""
+    if locator.startswith("http://"):
+        return ServiceBackend(locator)
+    return SQLiteBackend(Path(locator) / "cells.sqlite")
+
+
+def _victim_worker(locator: str, lease_ttl: float) -> None:
     """A stealing worker that leases every cell, commits exactly one,
     and dies — a deterministic stand-in for a worker killed mid-run
     (its remaining leases are left dangling until they expire)."""
@@ -99,9 +120,7 @@ def _victim_worker(root: str, lease_ttl: float) -> None:
             super().put(spec, result)
             os._exit(7)
 
-    cache = _DiesAfterFirstCommit(
-        backend=SQLiteBackend(Path(root) / "cells.sqlite")
-    )
+    cache = _DiesAfterFirstCommit(backend=_shared_backend(locator))
     campaign = _smoke_campaign()
     campaign.run(
         max_workers=1,
@@ -149,6 +168,66 @@ def test_campaign_work_stealing_smoke(tmp_path=None):
 
 
 # ----------------------------------------------------------------------
+# CI smoke: the shared-nothing HTTP story end to end
+# ----------------------------------------------------------------------
+def _spawn_cell_server_cli() -> "tuple[subprocess.Popen, str]":
+    """Launch a real ``python -m repro.cli cell-server`` subprocess on
+    an ephemeral port; returns (process, url) once it is serving."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "cell-server", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()  # "cell-server serving on http://..."
+    url = next(
+        (word for word in line.split() if word.startswith("http://")), None
+    )
+    assert url, f"cell-server did not announce a URL: {line!r}"
+    return proc, url
+
+
+def test_campaign_http_stealing_smoke(tmp_path=None):
+    """The multi-host story with zero shared storage: a cell-server
+    CLI subprocess, a victim worker killed after one commit over
+    HTTP, and a survivor that steals the expired leases and finishes
+    the union — bit-for-bit equal to the sequential run."""
+    server_proc, url = _spawn_cell_server_cli()
+    try:
+        campaign = _smoke_campaign()
+        ctx = multiprocessing.get_context("fork")
+        victim = ctx.Process(target=_victim_worker, args=(url, 1.0))
+        victim.start()
+        victim.join(timeout=120)
+        assert victim.exitcode == 7, "victim did not die at its scripted point"
+
+        cache = CellCache(backend=ServiceBackend(url))
+        assert len(cache) == 1  # one commit arrived; the rest dangle leased
+
+        survivor = campaign.run(
+            max_workers=1,
+            cache=cache,
+            steal=True,
+            owner="survivor",
+            lease_ttl=30.0,
+            steal_timeout=120.0,
+        )
+        assert survivor.complete
+        assert cache.hits == 1  # adopted the victim's one committed cell
+        assert cache.writes == len(campaign.cells) - 1  # recomputed the rest
+
+        fresh = campaign.run(max_workers=1)
+        for stolen, reference in zip(survivor.results, fresh.results):
+            assert result_to_dict(stolen) == result_to_dict(reference)
+    finally:
+        server_proc.terminate()
+        server_proc.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
 # two workers, stolen vs static: the wall-clock comparison
 # ----------------------------------------------------------------------
 # Two node counts x three seeds: the index % 2 split strands two of
@@ -158,8 +237,8 @@ _TWO_WORKER_N_VALUES = (50, 200)
 _TWO_WORKER_SEEDS = (0, 1, 2)
 
 
-def _two_worker_campaign(root: str, mode: str, index: int) -> None:
-    cache = CellCache(backend=SQLiteBackend(Path(root) / "cells.sqlite"))
+def _two_worker_campaign(locator: str, mode: str, index: int) -> None:
+    cache = CellCache(backend=_shared_backend(locator))
     campaign = scale_campaign(
         ("rcv",), n_values=_TWO_WORKER_N_VALUES, seeds=_TWO_WORKER_SEEDS
     )
@@ -212,30 +291,50 @@ def _model_makespans(costs):
     return max(shards), max(workers)
 
 
-def _measure_two_workers(mode: str):
+def _measure_two_workers(mode: str, transport: str = "sqlite"):
     """Wall clock until BOTH workers finish, plus the aggregated
-    per-cell results (read back from the shared backend)."""
+    per-cell results (read back from the shared backend).
+
+    ``transport="sqlite"`` shares a WAL database file (single-host);
+    ``transport="http"`` shares nothing but a TCP route to an
+    in-process cell server — the multi-host deployment, measured on
+    one machine, so the delta over sqlite is the HTTP round-trip cost
+    per cell operation.
+    """
     ctx = multiprocessing.get_context("fork")
     with tempfile.TemporaryDirectory(prefix="bench-steal-") as tmp:
-        start = time.perf_counter()
-        workers = [
-            ctx.Process(target=_two_worker_campaign, args=(tmp, mode, i))
-            for i in range(2)
-        ]
-        for w in workers:
-            w.start()
-        for w in workers:
-            w.join()
-        wall = time.perf_counter() - start
-        assert all(w.exitcode == 0 for w in workers), f"{mode} worker failed"
-        cache = CellCache(backend=SQLiteBackend(Path(tmp) / "cells.sqlite"))
-        aggregated = scale_campaign(
-            ("rcv",),
-            n_values=_TWO_WORKER_N_VALUES,
-            seeds=_TWO_WORKER_SEEDS,
-        ).run(max_workers=1, cache=cache)
-        assert aggregated.complete
-        return wall, [result_to_dict(r) for r in aggregated.results]
+        server = None
+        locator = tmp
+        if transport == "http":
+            server = CellServer().start()
+            locator = server.url
+        try:
+            start = time.perf_counter()
+            workers = [
+                ctx.Process(
+                    target=_two_worker_campaign, args=(locator, mode, i)
+                )
+                for i in range(2)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            wall = time.perf_counter() - start
+            assert all(
+                w.exitcode == 0 for w in workers
+            ), f"{mode}/{transport} worker failed"
+            cache = CellCache(backend=_shared_backend(locator))
+            aggregated = scale_campaign(
+                ("rcv",),
+                n_values=_TWO_WORKER_N_VALUES,
+                seeds=_TWO_WORKER_SEEDS,
+            ).run(max_workers=1, cache=cache)
+            assert aggregated.complete
+            return wall, [result_to_dict(r) for r in aggregated.results]
+        finally:
+            if server is not None:
+                server.stop()
 
 
 # ----------------------------------------------------------------------
@@ -269,6 +368,15 @@ def build_report(n_values=(100, 200), seeds=(0,)):
     steal_wall, steal_results = _measure_two_workers("steal")
     assert static_results == steal_results == reference, (
         "stolen / static-shard / sequential results diverged"
+    )
+
+    # Same stealing campaign again, but shared-nothing: the workers
+    # talk to a cell server over HTTP instead of a shared SQLite file.
+    # The wall-clock delta is the per-operation network cost of the
+    # multi-host deployment, measured on one host.
+    http_wall, http_results = _measure_two_workers("steal", transport="http")
+    assert http_results == reference, (
+        "HTTP-served stealing results diverged from sequential"
     )
 
     return {
@@ -308,6 +416,17 @@ def build_report(n_values=(100, 200), seeds=(0,)):
             "stolen_equals_static_equals_sequential": (
                 static_results == steal_results == reference
             ),
+        },
+        "two_workers_served_http": {
+            # the same stealing campaign as above, arbitrated by an
+            # HTTP cell server instead of a shared SQLite file — the
+            # shared-nothing multi-host deployment, on one host
+            "n_values": list(_TWO_WORKER_N_VALUES),
+            "seeds": list(_TWO_WORKER_SEEDS),
+            "seconds": round(http_wall, 3),
+            "sqlite_steal_seconds": round(steal_wall, 3),
+            "http_over_sqlite": round(http_wall / steal_wall, 2),
+            "served_equals_sequential": http_results == reference,
         },
     }
 

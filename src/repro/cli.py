@@ -8,7 +8,9 @@
     repro-mutex fig7 ...
     repro-mutex theory
     repro-mutex campaign [--n-values 50 100 150 200] [--shard I/K]
-                 [--backend dir|sqlite] [--steal]
+                 [--backend dir|sqlite|http] [--server URL] [--steal]
+    repro-mutex cell-server [--port 8400] [--store dir:PATH]
+    repro-mutex campaign-status --server URL
     repro-mutex run --algorithm rcv --nodes 20 --workload burst
     repro-mutex list
 
@@ -118,14 +120,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--backend",
-        choices=("dir", "sqlite"),
+        choices=("dir", "sqlite", "http"),
         default="dir",
         help=(
             "cell-cache storage: one JSON file per cell (dir; works "
-            "across hosts on a shared filesystem) or a single WAL-mode "
+            "across hosts on a shared filesystem), a single WAL-mode "
             "SQLite file (sqlite; one file for 10k cells, many worker "
-            "processes on one host — not for cross-host NFS sharing)"
+            "processes on one host — not for cross-host NFS sharing), "
+            "or a cell server spoken to over HTTP (http; shared-nothing "
+            "multi-host — needs --server, see the cell-server command)"
         ),
+    )
+    camp.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help="cell-server URL for --backend http (e.g. http://10.0.0.5:8400)",
     )
     camp.add_argument(
         "--shard",
@@ -156,7 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=60.0,
         help=(
             "seconds a --steal lease lives before peers may steal it; "
-            "set above one chunk's wall clock (default: 60)"
+            "set above one cell's wall clock — leases are renewed "
+            "between cells within a chunk (default: 60)"
+        ),
+    )
+    camp.add_argument(
+        "--max-cell-failures",
+        type=int,
+        default=3,
+        metavar="K",
+        help=(
+            "quarantine a cell after it crashes K times campaign-wide "
+            "under --steal, instead of retrying it forever (default: 3)"
         ),
     )
     camp.add_argument(
@@ -175,6 +196,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write a BENCH_campaign.json-style timing report",
+    )
+
+    serve = sub.add_parser(
+        "cell-server",
+        help=(
+            "serve a cell cache over HTTP so campaign workers on any "
+            "host share it without a common filesystem (see "
+            "docs/operations.md)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (0.0.0.0 to accept remote workers)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8400,
+        help="bind port (0 picks a free one; printed on startup)",
+    )
+    serve.add_argument(
+        "--store",
+        default="memory",
+        metavar="SPEC",
+        help=(
+            "where served cells are stored: memory (default; gone when "
+            "the server exits), dir:PATH (one JSON file per cell, "
+            "durable), or sqlite:PATH (one WAL-mode database file, "
+            "durable)"
+        ),
+    )
+
+    status = sub.add_parser(
+        "campaign-status",
+        help=(
+            "live campaign monitor: lease table, per-worker throughput "
+            "and quarantined cells from a cell-server's /stats"
+        ),
+    )
+    status.add_argument(
+        "--server", metavar="URL", required=True, help="cell-server URL"
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw /v1/stats JSON instead of the rendered table",
     )
 
     run_p = sub.add_parser("run", help="run a single scenario")
@@ -362,7 +430,20 @@ def _cmd_campaign(args) -> int:
     shard = _parse_shard(args.shard)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    if args.backend == "sqlite":
+    if args.backend == "http":
+        if not args.server:
+            raise SystemExit(
+                "--backend http requires --server URL (start one with "
+                "`python -m repro.cli cell-server`)"
+            )
+        from repro.experiments import BackendUnavailableError, ServiceBackend
+
+        try:
+            cache = CellCache(backend=ServiceBackend(args.server))
+        except (BackendUnavailableError, ValueError) as exc:
+            # unreachable server, or a malformed/https --server URL
+            raise SystemExit(str(exc))
+    elif args.backend == "sqlite":
         from repro.experiments import SQLiteBackend
 
         cache = CellCache(backend=SQLiteBackend(out / "cells.sqlite"))
@@ -378,11 +459,18 @@ def _cmd_campaign(args) -> int:
         steal=args.steal,
         owner=args.owner,
         lease_ttl=args.lease_ttl,
+        max_failures=args.max_cell_failures,
     )
 
     summary = result.to_markdown()
     print(summary)
     (out / "summary.md").write_text(summary + "\n")
+    if result.quarantined:
+        print(
+            f"(WARNING: {len(result.quarantined)} cell(s) quarantined "
+            "after repeated crashes — failure logs in summary.md; "
+            "triage recipe in docs/operations.md)"
+        )
     if result.complete:
         result.save(out / "results.json")
         print(f"(raw results saved to {out / 'results.json'})")
@@ -413,6 +501,102 @@ def _cmd_campaign(args) -> int:
         }
         Path(args.bench_json).write_text(json.dumps(report, indent=2) + "\n")
         print(f"(timing report written to {args.bench_json})")
+    return 0
+
+
+def _parse_store(text: str):
+    """Build a cell-server storage backend from ``memory`` /
+    ``dir:PATH`` / ``sqlite:PATH`` CLI syntax."""
+    from repro.experiments import DirectoryBackend, MemoryBackend, SQLiteBackend
+
+    if text == "memory":
+        return MemoryBackend()
+    kind, sep, path = text.partition(":")
+    if not sep or not path:
+        raise SystemExit(
+            f"malformed --store {text!r} (want memory | dir:PATH | "
+            "sqlite:PATH)"
+        )
+    if kind == "dir":
+        return DirectoryBackend(path)
+    if kind == "sqlite":
+        return SQLiteBackend(path)
+    raise SystemExit(
+        f"unknown --store kind {kind!r} (want memory | dir:PATH | "
+        "sqlite:PATH)"
+    )
+
+
+def _cmd_cell_server(args) -> int:
+    from repro.experiments.service import PROTOCOL_VERSION, CellServer
+
+    store = _parse_store(args.store)
+    server = CellServer(store, host=args.host, port=args.port)
+    # One parseable line, flushed before blocking: scripts (and the CI
+    # smoke) read the actual URL from it, which --port 0 makes dynamic.
+    print(
+        f"cell-server serving on {server.url} "
+        f"(protocol v{PROTOCOL_VERSION}, store {store!r})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("cell-server: interrupted, shutting down", flush=True)
+    return 0
+
+
+def _render_status(stats: dict, url: str) -> str:
+    lines = [
+        f"cell-server {url} — protocol v{stats['protocol']}, "
+        f"up {stats['uptime_seconds']:,.0f}s",
+        f"cells stored : {stats['cells']}",
+        f"active leases: {len(stats['leases'])}",
+        f"quarantined  : {len(stats['quarantined'])}",
+    ]
+    owners = stats["owners"]
+    if owners:
+        lines += ["", "worker                          leases  claims  commits  failures  cells/min"]
+        uptime = max(stats["uptime_seconds"], 1e-9)
+        for owner, rec in owners.items():
+            rate = 60.0 * rec["commits"] / uptime
+            lines.append(
+                f"{owner:<30}  {rec['active_leases']:>6}  "
+                f"{rec['claims']:>6}  {rec['commits']:>7}  "
+                f"{rec['failures']:>8}  {rate:>9.1f}"
+            )
+    if stats["leases"]:
+        lines += ["", "lease table (key prefix, holder, seconds to expiry):"]
+        for lease in stats["leases"]:
+            lines.append(
+                f"  {lease['key'][:12]:<12}  {lease['owner']:<30}  "
+                f"{lease['expires_in']:>7.1f}s"
+            )
+    if stats["quarantined"]:
+        lines += ["", "quarantined cells (key prefix, failure count):"]
+        for key, entry in stats["quarantined"].items():
+            lines.append(f"  {key[:12]:<12}  {entry['count']} failures")
+        lines.append(
+            "  (full failure logs: GET /v1/quarantine; triage: "
+            "docs/operations.md)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_campaign_status(args) -> int:
+    import json
+
+    from repro.experiments import BackendUnavailableError, ServiceBackend
+
+    try:
+        backend = ServiceBackend(args.server)
+        stats = backend.stats()
+    except BackendUnavailableError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(_render_status(stats, backend.url))
     return 0
 
 
@@ -505,6 +689,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_theory(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "cell-server":
+        return _cmd_cell_server(args)
+    if args.command == "campaign-status":
+        return _cmd_campaign_status(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "list":

@@ -15,9 +15,11 @@ content-addressed :class:`~repro.experiments.cache.CellCache`
 """
 
 from repro.experiments.backends import (
+    BackendUnavailableError,
     CacheBackend,
     DirectoryBackend,
     MemoryBackend,
+    ServiceBackend,
     SQLiteBackend,
 )
 from repro.experiments.cache import CellCache
@@ -28,6 +30,7 @@ from repro.experiments.campaign import (
     scale_campaign,
 )
 from repro.experiments.charts import render_chart
+from repro.experiments.service import CellServer
 from repro.experiments.figures import (
     FigureData,
     burst_sweep,
@@ -53,13 +56,16 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "BackendUnavailableError",
     "CacheBackend",
     "Campaign",
     "CampaignResult",
     "CellCache",
+    "CellServer",
     "CellSpec",
     "DirectoryBackend",
     "MemoryBackend",
+    "ServiceBackend",
     "SQLiteBackend",
     "FigureData",
     "ProgressReporter",

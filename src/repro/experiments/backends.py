@@ -8,7 +8,7 @@ pairs and — the part that makes distributed campaigns possible —
 arbitrates **leases** over keys, so workers on different processes or
 hosts can claim pending cells instead of partitioning them up front.
 
-Three implementations ship:
+Four implementations ship:
 
 * :class:`DirectoryBackend` — the original one-JSON-file-per-cell
   directory layout (``<root>/<key[:2]>/<key>.json``).  Works over any
@@ -22,32 +22,64 @@ Three implementations ship:
   host.  WAL needs coherent shared memory, so this backend is
   **single-host**: workers on different machines must share a
   :class:`DirectoryBackend` filesystem instead.
+* :class:`ServiceBackend` — an HTTP client for the cell service
+  (:mod:`repro.experiments.service`, ``python -m repro.cli
+  cell-server``).  The **shared-nothing** option: workers on any
+  number of hosts need only a TCP route to the server; leases,
+  failure records, and quarantine are arbitrated server-side.
 
 Lease contract (all backends): ``claim(key, owner, ttl)`` returns
 True when ``owner`` now holds the lease — either it was free, it had
 expired (a crashed peer's lease is stolen), or ``owner`` already held
 it (re-claiming refreshes the expiry).  ``release(key, owner)`` drops
-the lease only if ``owner`` holds it.  A lease is advisory: ``put``
-never checks one, so the worst a misconfigured ttl causes is a
-duplicate computation of a deterministic cell, never a wrong result.
+the lease only if ``owner`` holds it.  ``renew(key, owner, ttl)``
+extends a lease ``owner`` still holds un-expired — and refuses
+otherwise, which is how a slow worker discovers its cell may have
+been stolen.  A lease is advisory: ``put`` never checks one, so the
+worst a misconfigured ttl causes is a duplicate computation of a
+deterministic cell, never a wrong result.
+
+Failure/quarantine contract (all backends; see
+``docs/operations.md`` for triage): ``record_failure(key, owner,
+error)`` appends a failure record and returns the total count for the
+key; ``quarantine(key)`` marks the cell poisoned (idempotent) —
+``claim`` refuses quarantined cells, so a cell that crashes its
+worker deterministically stops ping-ponging between stealers once a
+worker observes the failure budget spent and quarantines it.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import sqlite3
 import threading
 import time
+import urllib.parse
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Protocol, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple, Union
 
 __all__ = [
+    "BackendUnavailableError",
     "CacheBackend",
     "DirectoryBackend",
     "MemoryBackend",
     "SQLiteBackend",
+    "ServiceBackend",
 ]
+
+
+class BackendUnavailableError(RuntimeError):
+    """The cache backend cannot be reached (as opposed to holding a
+    corrupt cell).
+
+    Raised with the backend's identity and a remedy instead of letting
+    a bare ``OSError``/``sqlite3`` error escape from deep inside the
+    cache façade mid-campaign.  The campaign cache is resumable by
+    design, so the remedy is always some variant of "restore the
+    backend and re-run the same command".
+    """
 
 
 class CacheBackend(Protocol):
@@ -68,11 +100,39 @@ class CacheBackend(Protocol):
 
         True when ``owner`` holds the lease afterwards (fresh, stolen
         from an expired holder, or refreshed); False when a live lease
-        is held by someone else.
+        is held by someone else **or the key is quarantined**.
         """
 
     def release(self, key: str, owner: str) -> None:
         """Drop the lease on ``key`` if (and only if) ``owner`` holds it."""
+
+    def renew(self, key: str, owner: str, ttl: float) -> bool:
+        """Extend a lease ``owner`` still holds un-expired.
+
+        False when the lease expired or changed hands — unlike
+        :meth:`claim`, a renewal never takes a lease over, so a slow
+        worker learns (rather than hides) that its cell may have been
+        stolen.
+        """
+
+    def record_failure(self, key: str, owner: str, error: str) -> int:
+        """Append a failure record for ``key``; returns the total
+        failure count across all workers (the retry budget spent)."""
+
+    def failures(self, key: str) -> List[dict]:
+        """The failure records for ``key`` (``owner``/``error``/``time``
+        dicts), oldest first."""
+
+    def quarantine(self, key: str) -> None:
+        """Mark ``key`` poisoned: :meth:`claim` refuses it from now
+        on.  Idempotent; the recorded failures become its case file."""
+
+    def is_quarantined(self, key: str) -> bool:
+        """Whether ``key`` has been quarantined."""
+
+    def quarantined(self) -> Dict[str, dict]:
+        """All quarantined keys with their case files
+        (``{"count": int, "failures": [...]}``)."""
 
     def keys(self) -> Iterator[str]:
         """Iterate over the stored keys."""
@@ -157,6 +217,8 @@ class DirectoryBackend:
         return self.root / ".leases" / f"{key}.lease"
 
     def claim(self, key: str, owner: str, ttl: float) -> bool:
+        if self.is_quarantined(key):
+            return False
         path = self._lease_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"owner": owner, "expires": time.time() + ttl})
@@ -188,6 +250,72 @@ class DirectoryBackend:
             return
         if doc.get("owner") == owner:
             path.unlink(missing_ok=True)
+
+    def renew(self, key: str, owner: str, ttl: float) -> bool:
+        path = self._lease_path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return False
+        if doc.get("owner") != owner or doc.get("expires", 0.0) <= time.time():
+            return False
+        payload = json.dumps({"owner": owner, "expires": time.time() + ttl})
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        return True
+
+    # -- failures / quarantine -----------------------------------------
+    # Distinct suffixes (not .json): keys() globs */*.json, and cell
+    # listings must never pick up failure case files.
+    def _failure_path(self, key: str) -> Path:
+        return self.root / ".failures" / f"{key}.failures"
+
+    def _quarantine_path(self, key: str) -> Path:
+        return self.root / ".quarantine" / f"{key}.quarantine"
+
+    def record_failure(self, key: str, owner: str, error: str) -> int:
+        # Read-modify-write without a cross-host lock: two workers
+        # failing the same cell at the same instant may drop a record.
+        # The count is a retry *budget*, not an audit log — a lost
+        # update means at most one extra retry of a deterministic
+        # cell, so the simplicity is worth it.
+        records = self.failures(key)
+        records.append({"owner": owner, "error": error, "time": time.time()})
+        path = self._failure_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(records, indent=1))
+        os.replace(tmp, path)
+        return len(records)
+
+    def failures(self, key: str) -> List[dict]:
+        try:
+            return json.loads(self._failure_path(key).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return []
+
+    def quarantine(self, key: str) -> None:
+        path = self._quarantine_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        records = self.failures(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps({"count": len(records), "failures": records}, indent=1)
+        )
+        os.replace(tmp, path)
+
+    def is_quarantined(self, key: str) -> bool:
+        return self._quarantine_path(key).exists()
+
+    def quarantined(self) -> Dict[str, dict]:
+        table: Dict[str, dict] = {}
+        for path in self.root.glob(".quarantine/*.quarantine"):
+            try:
+                table[path.stem] = json.loads(path.read_text())
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue  # mid-write; the writer will land it
+        return table
 
     # -- maintenance ---------------------------------------------------
     def _gc_stale_tmp(self) -> int:
@@ -237,6 +365,8 @@ class MemoryBackend:
     def __init__(self) -> None:
         self._store: Dict[str, str] = {}
         self._leases: Dict[str, Tuple[str, float]] = {}
+        self._failures: Dict[str, List[dict]] = {}
+        self._quarantined: Dict[str, dict] = {}
         self._lock = threading.Lock()
 
     def get(self, key: str) -> Optional[str]:
@@ -247,6 +377,8 @@ class MemoryBackend:
 
     def claim(self, key: str, owner: str, ttl: float) -> bool:
         with self._lock:
+            if key in self._quarantined:
+                return False
             held = self._leases.get(key)
             if held is not None:
                 holder, expires = held
@@ -260,6 +392,41 @@ class MemoryBackend:
             held = self._leases.get(key)
             if held is not None and held[0] == owner:
                 del self._leases[key]
+
+    def renew(self, key: str, owner: str, ttl: float) -> bool:
+        with self._lock:
+            held = self._leases.get(key)
+            if held is None or held[0] != owner or held[1] <= time.time():
+                return False
+            self._leases[key] = (owner, time.time() + ttl)
+            return True
+
+    def record_failure(self, key: str, owner: str, error: str) -> int:
+        with self._lock:
+            records = self._failures.setdefault(key, [])
+            records.append(
+                {"owner": owner, "error": error, "time": time.time()}
+            )
+            return len(records)
+
+    def failures(self, key: str) -> List[dict]:
+        with self._lock:
+            return list(self._failures.get(key, []))
+
+    def quarantine(self, key: str) -> None:
+        with self._lock:
+            records = list(self._failures.get(key, []))
+            self._quarantined.setdefault(
+                key, {"count": len(records), "failures": records}
+            )
+
+    def is_quarantined(self, key: str) -> bool:
+        with self._lock:
+            return key in self._quarantined
+
+    def quarantined(self) -> Dict[str, dict]:
+        with self._lock:
+            return {k: dict(v) for k, v in self._quarantined.items()}
 
     def keys(self) -> Iterator[str]:
         return iter(list(self._store))
@@ -307,6 +474,18 @@ class SQLiteBackend:
             "CREATE TABLE IF NOT EXISTS leases ("
             "key TEXT PRIMARY KEY, owner TEXT NOT NULL, expires REAL NOT NULL)"
         )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS failures ("
+            "key TEXT NOT NULL, owner TEXT NOT NULL, "
+            "error TEXT NOT NULL, time REAL NOT NULL)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS failures_key ON failures(key)"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS quarantine ("
+            "key TEXT PRIMARY KEY, record TEXT NOT NULL)"
+        )
 
     def get(self, key: str) -> Optional[str]:
         with self._lock:
@@ -326,6 +505,11 @@ class SQLiteBackend:
     def claim(self, key: str, owner: str, ttl: float) -> bool:
         now = time.time()
         with self._lock:
+            quarantined = self._conn.execute(
+                "SELECT 1 FROM quarantine WHERE key = ?", (key,)
+            ).fetchone()
+            if quarantined:
+                return False
             before = self._conn.total_changes
             # One atomic statement: insert a fresh lease, or take over
             # an expired/own one; a live foreign lease leaves the row
@@ -345,6 +529,65 @@ class SQLiteBackend:
                 "DELETE FROM leases WHERE key = ? AND owner = ?", (key, owner)
             )
 
+    def renew(self, key: str, owner: str, ttl: float) -> bool:
+        now = time.time()
+        with self._lock:
+            before = self._conn.total_changes
+            self._conn.execute(
+                "UPDATE leases SET expires = ? "
+                "WHERE key = ? AND owner = ? AND expires > ?",
+                (now + ttl, key, owner, now),
+            )
+            return self._conn.total_changes > before
+
+    # -- failures / quarantine -----------------------------------------
+    def record_failure(self, key: str, owner: str, error: str) -> int:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO failures(key, owner, error, time) "
+                "VALUES(?, ?, ?, ?)",
+                (key, owner, error, time.time()),
+            )
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM failures WHERE key = ?", (key,)
+            ).fetchone()
+        return count
+
+    def failures(self, key: str) -> List[dict]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT owner, error, time FROM failures "
+                "WHERE key = ? ORDER BY time",
+                (key,),
+            ).fetchall()
+        return [
+            {"owner": owner, "error": error, "time": when}
+            for owner, error, when in rows
+        ]
+
+    def quarantine(self, key: str) -> None:
+        records = self.failures(key)
+        record = json.dumps({"count": len(records), "failures": records})
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO quarantine(key, record) VALUES(?, ?)",
+                (key, record),
+            )
+
+    def is_quarantined(self, key: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM quarantine WHERE key = ?", (key,)
+            ).fetchone()
+        return row is not None
+
+    def quarantined(self) -> Dict[str, dict]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, record FROM quarantine"
+            ).fetchall()
+        return {key: json.loads(record) for key, record in rows}
+
     def keys(self) -> Iterator[str]:
         with self._lock:
             rows = self._conn.execute("SELECT key FROM cells").fetchall()
@@ -362,3 +605,197 @@ class SQLiteBackend:
 
     def __repr__(self) -> str:
         return f"SQLiteBackend({str(self.path)!r}, {len(self)} cells)"
+
+
+# ----------------------------------------------------------------------
+# HTTP service backend (shared-nothing: workers need only TCP)
+# ----------------------------------------------------------------------
+class ServiceBackend:
+    """Client for the HTTP cell service
+    (:class:`repro.experiments.service.CellServer`, CLI
+    ``python -m repro.cli cell-server``).
+
+    Speaks the versioned JSON protocol documented in
+    ``docs/operations.md``: cells live under ``/v1/cells/<key>``,
+    leases/failures/quarantine are arbitrated **server-side** (one
+    clock, one lease table — no shared filesystem or database file
+    anywhere).  The constructor probes ``/v1/stats`` so a wrong URL or
+    a dead server fails fast, at startup, with a
+    :class:`BackendUnavailableError` naming the remedy instead of
+    hanging a campaign mid-run.
+
+    One persistent keep-alive connection per backend instance; the
+    instance is not thread-safe (``run_cells`` only touches the cache
+    from the scheduler, never from pool workers) but is cheap to
+    construct per process.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"//{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(
+                f"cell service URL {url!r}: only http:// is supported"
+            )
+        if not parsed.hostname:
+            raise ValueError(f"cell service URL {url!r} has no host")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.url = f"http://{self.host}:{self.port}"
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        #: quarantine flag from each key's most recent claim response
+        #: — lets is_quarantined() answer without a second round trip
+        #: right after a refused claim (the steal loop's hot pattern)
+        self._claim_quarantined: Dict[str, bool] = {}
+        stats = self.stats()  # fail fast: reachability + protocol check
+        self.server_protocol = stats.get("protocol")
+
+    # -- plumbing ------------------------------------------------------
+    def _unavailable(self, exc: Exception) -> BackendUnavailableError:
+        return BackendUnavailableError(
+            f"cell service at {self.url} is unreachable ({exc!r}). "
+            "Is the server running?  Start it with `python -m repro.cli "
+            "cell-server` (see docs/operations.md), then re-run this "
+            "command — the campaign resumes from the cells already "
+            "committed."
+        )
+
+    def _request(self, method: str, path: str, body: Optional[str] = None):
+        payload = body.encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        # One retry with a fresh connection: a keep-alive socket the
+        # server closed between requests is indistinguishable from a
+        # dead server until we try it.
+        for attempt in (0, 1):
+            try:
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                self._conn.request(method, path, body=payload, headers=headers)
+                response = self._conn.getresponse()
+                text = response.read().decode("utf-8")
+                return response.status, text
+            except (OSError, http.client.HTTPException) as exc:
+                if self._conn is not None:
+                    self._conn.close()
+                    self._conn = None
+                if attempt:
+                    raise self._unavailable(exc) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json(self, method: str, path: str, doc: Optional[dict] = None):
+        body = json.dumps(doc) if doc is not None else None
+        status, text = self._request(method, path, body)
+        try:
+            payload = json.loads(text) if text else {}
+        except json.JSONDecodeError:
+            payload = {"error": text.strip()[:200]}
+        if status >= 400 and status != 404:
+            raise RuntimeError(
+                f"cell service {self.url} rejected {method} {path}: "
+                f"{payload.get('error', f'HTTP {status}')}"
+            )
+        return status, payload
+
+    @staticmethod
+    def _cell_path(key: str) -> str:
+        return f"/v1/cells/{urllib.parse.quote(key, safe='')}"
+
+    # -- storage -------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        status, doc = self._json("GET", self._cell_path(key))
+        return None if status == 404 else doc["value"]
+
+    def put(self, key: str, value: str) -> None:
+        self._json("PUT", self._cell_path(key), {"value": value})
+
+    def keys(self) -> Iterator[str]:
+        _, doc = self._json("GET", "/v1/cells")
+        return iter(doc["keys"])
+
+    def __len__(self) -> int:
+        _, doc = self._json("GET", "/v1/cells")
+        return doc["count"]
+
+    # -- leases --------------------------------------------------------
+    def claim(self, key: str, owner: str, ttl: float) -> bool:
+        _, doc = self._json(
+            "POST", "/v1/claim", {"key": key, "owner": owner, "ttl": ttl}
+        )
+        self._claim_quarantined[key] = doc.get("quarantined", False)
+        return doc["granted"]
+
+    def release(self, key: str, owner: str) -> None:
+        self._json("POST", "/v1/release", {"key": key, "owner": owner})
+
+    def renew(self, key: str, owner: str, ttl: float) -> bool:
+        _, doc = self._json(
+            "POST", "/v1/renew", {"key": key, "owner": owner, "ttl": ttl}
+        )
+        return doc["renewed"]
+
+    # -- failures / quarantine -----------------------------------------
+    def record_failure(self, key: str, owner: str, error: str) -> int:
+        # The transport retries on a broken connection, and /v1/fail
+        # is the one non-idempotent call: a report whose *response*
+        # was lost would be recorded twice, spending the quarantine
+        # budget on phantom crashes.  The random id lets the server
+        # drop the duplicate.
+        _, doc = self._json(
+            "POST",
+            "/v1/fail",
+            {
+                "key": key,
+                "owner": owner,
+                "error": error,
+                "id": os.urandom(8).hex(),
+            },
+        )
+        return doc["count"]
+
+    def failures(self, key: str) -> List[dict]:
+        status, doc = self._json(
+            "GET", f"/v1/quarantine/{urllib.parse.quote(key, safe='')}"
+        )
+        return doc.get("failures", [])
+
+    def quarantine(self, key: str) -> None:
+        self._json("POST", "/v1/quarantine", {"key": key})
+        self._claim_quarantined[key] = True
+
+    def is_quarantined(self, key: str) -> bool:
+        # The steal loop asks this right after a refused claim, and
+        # the claim response already carried the answer — reuse it
+        # instead of a second round trip per deferred cell per poll.
+        # At most one poll round stale, and only in the safe
+        # direction: a just-quarantined cell is re-answered by the
+        # next claim.
+        cached = self._claim_quarantined.get(key)
+        if cached is not None:
+            return cached
+        status, doc = self._json(
+            "GET", f"/v1/quarantine/{urllib.parse.quote(key, safe='')}"
+        )
+        return doc.get("quarantined", False)
+
+    def quarantined(self) -> Dict[str, dict]:
+        _, doc = self._json("GET", "/v1/quarantine")
+        return doc["cells"]
+
+    # -- monitoring ----------------------------------------------------
+    def stats(self) -> dict:
+        """The server's ``/v1/stats`` document: lease table, per-owner
+        throughput counters, quarantine list (see docs/operations.md)."""
+        _, doc = self._json("GET", "/v1/stats")
+        return doc
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __repr__(self) -> str:
+        # Deliberately no round trip: reprs appear in error messages
+        # raised precisely when the server is unreachable.
+        return f"ServiceBackend({self.url!r})"

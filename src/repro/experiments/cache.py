@@ -5,8 +5,10 @@ stable key (:meth:`CellSpec.cache_key` — sha256 over the normalized
 spec plus the result-format version), and :class:`CellCache` stores
 one JSON document per cell in a pluggable
 :class:`~repro.experiments.backends.CacheBackend` — the original
-one-file-per-cell directory layout, an in-memory dict, or a single
-WAL-mode SQLite file (see :mod:`repro.experiments.backends`).  This
+one-file-per-cell directory layout, an in-memory dict, a single
+WAL-mode SQLite file, or an HTTP client for the shared-nothing cell
+service (see :mod:`repro.experiments.backends` and
+:mod:`repro.experiments.service`).  This
 is what makes N=100–200 campaigns **resumable and distributable**:
 re-running a campaign (or another worker pointed at the same backend)
 loads finished cells and computes only the missing ones, bit-for-bit
@@ -27,10 +29,15 @@ sharded run describes that shard, not the whole campaign.
 from __future__ import annotations
 
 import json
+import sqlite3
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
-from repro.experiments.backends import CacheBackend, DirectoryBackend
+from repro.experiments.backends import (
+    BackendUnavailableError,
+    CacheBackend,
+    DirectoryBackend,
+)
 from repro.metrics.io import (
     FORMAT_VERSION,
     result_from_dict,
@@ -81,6 +88,39 @@ class CellCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+
+    # ------------------------------------------------------------------
+    def _call(self, fn, *args):
+        """Delegate to the backend, typing infrastructure failures.
+
+        A corrupt *cell* keeps its precise errors (see
+        :meth:`_decode`), but an unreachable *backend* — connection
+        refused mid-campaign, a vanished mount, a locked-out database
+        file — used to escape as a bare ``OSError`` from deep inside
+        the façade.  It now surfaces as a
+        :class:`~repro.experiments.backends.BackendUnavailableError`
+        naming the backend and the remedy (campaign caches are
+        resumable: restore the backend, re-run the same command).
+        """
+        try:
+            return fn(*args)
+        except BackendUnavailableError:
+            raise  # already typed (ServiceBackend names its URL)
+        except (OSError, sqlite3.Error) as exc:
+            backend = type(self.backend).__name__
+            where = (
+                getattr(self.backend, "url", None)
+                or getattr(self.backend, "root", None)
+                or getattr(self.backend, "path", None)
+            )
+            location = f" at {where}" if where is not None else ""
+            raise BackendUnavailableError(
+                f"cell-cache backend {backend}{location} failed during "
+                f"{getattr(fn, '__name__', fn)!s}: {exc!r}. Restore the "
+                "backend (remount the filesystem / unlock the database / "
+                "restart the cell server) and re-run the same command — "
+                "the campaign resumes from the cells already committed."
+            ) from exc
 
     # ------------------------------------------------------------------
     def path_for(self, spec) -> Path:
@@ -135,7 +175,7 @@ class CellCache:
         of cells this process does not own.
         """
         key = spec.cache_key()
-        text = self.backend.get(key)
+        text = self._call(self.backend.get, key)
         result = None if text is None else self._decode(text, spec, key)
         if result is None:
             self.misses += 1
@@ -146,7 +186,7 @@ class CellCache:
     def peek(self, spec) -> Optional[RunResult]:
         """Like :meth:`get`, but leaves the hit/miss counters alone."""
         key = spec.cache_key()
-        text = self.backend.get(key)
+        text = self._call(self.backend.get, key)
         return None if text is None else self._decode(text, spec, key)
 
     def adopt(self, spec) -> Optional[RunResult]:
@@ -171,7 +211,7 @@ class CellCache:
             "spec": _spec_to_jsonable(spec),
             "result": result_to_dict(result),
         }
-        self.backend.put(key, json.dumps(doc, indent=1))
+        self._call(self.backend.put, key, json.dumps(doc, indent=1))
         self.writes += 1
         return key
 
@@ -180,11 +220,46 @@ class CellCache:
     # ------------------------------------------------------------------
     def claim(self, spec, owner: str, ttl: float) -> bool:
         """Try to lease ``spec``'s cell for ``owner`` (see backend)."""
-        return self.backend.claim(spec.cache_key(), owner, ttl)
+        return self._call(self.backend.claim, spec.cache_key(), owner, ttl)
 
     def release(self, spec, owner: str) -> None:
         """Drop ``owner``'s lease on ``spec``'s cell, if held."""
-        self.backend.release(spec.cache_key(), owner)
+        self._call(self.backend.release, spec.cache_key(), owner)
+
+    def renew(self, spec, owner: str, ttl: float) -> bool:
+        """Extend ``owner``'s live lease on ``spec``'s cell (see backend)."""
+        return self._call(self.backend.renew, spec.cache_key(), owner, ttl)
+
+    # ------------------------------------------------------------------
+    # failures / quarantine (campaign-level retry; see backends)
+    # ------------------------------------------------------------------
+    def record_failure(self, spec, owner: str, error: str) -> int:
+        """Log a crash of ``spec``'s cell; returns the total count."""
+        return self._call(
+            self.backend.record_failure, spec.cache_key(), owner, error
+        )
+
+    def quarantine(self, spec) -> None:
+        """Mark ``spec``'s cell poisoned: no backend will lease it again."""
+        self._call(self.backend.quarantine, spec.cache_key())
+
+    def is_quarantined(self, spec) -> bool:
+        """Whether ``spec``'s cell has been quarantined."""
+        return self._call(self.backend.is_quarantined, spec.cache_key())
+
+    def quarantined(self) -> Dict[str, dict]:
+        """All quarantined cells, keyed by cache key, with case files.
+
+        Empty for backends predating the failure/quarantine contract
+        (a custom backend implementing only the original
+        get/put/claim/release surface): every campaign run queries
+        this for its summary, and a missing *optional* capability
+        must not crash a finished run.
+        """
+        fn = getattr(self.backend, "quarantined", None)
+        if fn is None:
+            return {}
+        return self._call(fn)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -414,6 +414,22 @@ def _run_cell(spec: CellSpec) -> RunResult:
     return run_scenario(spec.build_scenario())
 
 
+def _run_cell_guarded(spec: CellSpec) -> Tuple[str, object]:
+    """``("ok", result)`` or ``("error", traceback_text)``.
+
+    The work-stealing scheduler's worker function: a cell that raises
+    must be *attributed* (which cell, what error) so the campaign can
+    retry and eventually quarantine it — an exception propagating out
+    of a pool batch loses both.
+    """
+    import traceback
+
+    try:
+        return ("ok", _run_cell(spec))
+    except Exception:
+        return ("error", traceback.format_exc())
+
+
 # ----------------------------------------------------------------------
 # progress / ETA
 # ----------------------------------------------------------------------
@@ -504,6 +520,7 @@ def run_cells(
     lease_ttl: float = 60.0,
     poll_interval: float = 0.05,
     steal_timeout: Optional[float] = None,
+    max_failures: int = 3,
 ) -> List[Optional[RunResult]]:
     """Run all cells, in parallel when more than one worker is useful.
 
@@ -531,14 +548,28 @@ def run_cells(
     peer are deferred and re-polled every ``poll_interval`` seconds —
     either the peer commits the cell (it is adopted from the cache)
     or its lease expires (a crashed peer) and the cell is re-claimed
-    and recomputed here.  A stealing run therefore always returns a
-    complete result list.  ``shard`` degrades to a *priority seed*:
+    and recomputed here.  ``shard`` degrades to a *priority seed*:
     this worker claims its own shard's cells first, then steals the
-    rest.  Pick ``lease_ttl`` comfortably above one chunk's wall
-    clock; a too-short ttl only duplicates deterministic work, never
-    corrupts results.  ``steal_timeout`` bounds how long the worker
-    will go *without making progress* while foreign leases block it
-    (None: wait as long as it takes).
+    rest.  Leases on claimed-but-uncomputed cells are **renewed**
+    while the worker chews through a chunk, so ``lease_ttl`` needs to
+    cover one *cell*, not one chunk; a too-short ttl only duplicates
+    deterministic work, never corrupts results.  ``steal_timeout``
+    bounds how long the worker will go *without making progress*
+    while foreign leases block it (None: wait as long as it takes).
+
+    **Retry / quarantine** (stealing runs) — a cell whose computation
+    *crashes* is not re-raised into the campaign: the failure (with
+    traceback) is recorded in the shared backend, the lease released,
+    and the cell retried — by this worker or any peer — until the
+    campaign-wide failure count reaches ``max_failures``, at which
+    point the cell is **quarantined**: backends refuse to lease it
+    again, stealers skip it, and its slot in the result list stays
+    ``None`` (``Campaign.run`` surfaces the case file in the summary;
+    docs/operations.md covers triage).  Without quarantine, a
+    deterministically-crashing cell would ping-pong between workers
+    forever, each crash handing the lease to the next victim.  A
+    stealing run therefore always terminates, and is complete
+    whenever no cell exhausted its failure budget.
 
     ``progress`` is a :class:`ProgressReporter` (or ``True`` for a
     default one); steps fire per completed cell — cached/adopted
@@ -553,6 +584,10 @@ def run_cells(
     if steal:
         if cache is None:
             raise ValueError("steal=True requires a cache (shared backend)")
+        if max_failures < 1:
+            raise ValueError(
+                f"max_failures must be >= 1, got {max_failures}"
+            )
         owner = owner or default_owner()
 
     results: List[Optional[RunResult]] = [None] * len(specs)
@@ -612,18 +647,64 @@ def run_cells(
             results[i] = result
             if cache is not None:
                 cache.put(specs[i], result)
-                if steal:
-                    cache.release(specs[i], owner)
             if progress:
                 progress.step()
 
-    def _steal_loop(run_batch):
+    def _run_claimed(run_map, claimed):
+        """Compute one claimed chunk; returns indices to retry later.
+
+        Results stream back cell by cell (``run_map`` is lazy), so
+        commits land — and still-pending leases get renewed — while
+        the rest of the chunk computes.  A crashed cell is attributed
+        (``_run_cell_guarded``), logged to the shared backend, and
+        retried or quarantined instead of aborting the worker.
+        """
+        retry: List[int] = []
+        uncommitted = set(claimed)
+        last_renew = time.monotonic()
+        try:
+            for i, (status, payload) in zip(
+                claimed, run_map(_run_cell_guarded, claimed)
+            ):
+                if status == "ok":
+                    _commit([i], [payload])
+                else:
+                    count = cache.record_failure(specs[i], owner, payload)
+                    if count >= max_failures:
+                        # The campaign-wide budget is spent: poison
+                        # the cell so no stealer ever claims it again.
+                        cache.quarantine(specs[i])
+                        if progress:
+                            progress.step(fresh=False)
+                    else:
+                        retry.append(i)
+                cache.release(specs[i], owner)
+                uncommitted.discard(i)
+                now = time.monotonic()
+                if uncommitted and now - last_renew > lease_ttl / 3.0:
+                    # Heartbeat: this worker is alive and still owns
+                    # the rest of the chunk — without it, a chunk
+                    # longer than lease_ttl looks like a crash and
+                    # peers duplicate the work.
+                    for j in uncommitted:
+                        cache.renew(specs[j], owner, lease_ttl)
+                    last_renew = now
+        finally:
+            # On an exception mid-chunk (pool breakage, backend gone),
+            # free the unfinished leases immediately so peers take the
+            # cells over now instead of after lease_ttl.
+            for i in uncommitted:
+                cache.release(specs[i], owner)
+        return retry
+
+    def _steal_loop(run_map):
         # Stall clock: time since this worker last made progress
         # (claimed, adopted, or committed) — NOT since the loop
         # started, so long healthy runs never trip steal_timeout.
         last_progress = time.monotonic()
         backoff = poll_interval
         work = list(pending)
+        missed: set = set()
         while work:
             claimed: List[int] = []
             deferred: List[int] = []
@@ -637,27 +718,28 @@ def run_cells(
                     if progress:
                         progress.step(fresh=False)
                     continue
-                if len(claimed) < chunk_size and cache.claim(
-                    specs[i], owner, lease_ttl
-                ):
-                    # Now it's this worker's cell to compute: the miss
-                    # is real (and exactly matches a later write).
-                    cache.misses += 1
-                    claimed.append(i)
-                else:
-                    deferred.append(i)
+                if len(claimed) < chunk_size:
+                    if cache.claim(specs[i], owner, lease_ttl):
+                        # Now it's this worker's cell to compute: the
+                        # miss is real (and matches a later write).
+                        # Once per cell — a crashed-then-retried cell
+                        # is still one miss, not one per attempt.
+                        if i not in missed:
+                            cache.misses += 1
+                            missed.add(i)
+                        claimed.append(i)
+                        continue
+                    if cache.is_quarantined(specs[i]):
+                        # Poisoned by repeated crashes (here or on a
+                        # peer): drop it — the slot stays None and
+                        # the campaign summary carries the case file.
+                        if progress:
+                            progress.step(fresh=False)
+                        continue
+                deferred.append(i)
+            retry: List[int] = []
             if claimed:
-                try:
-                    _commit(claimed, run_batch(claimed))
-                finally:
-                    # On an exception mid-batch, free the uncommitted
-                    # leases immediately so peers take the cells over
-                    # now instead of after lease_ttl (release is
-                    # owner-checked and idempotent, so re-releasing
-                    # the committed ones is a no-op).
-                    for i in claimed:
-                        if results[i] is None:
-                            cache.release(specs[i], owner)
+                retry = _run_claimed(run_map, claimed)
             if claimed or adopted:
                 last_progress = time.monotonic()
                 backoff = poll_interval
@@ -677,23 +759,25 @@ def run_cells(
                     )
                 time.sleep(backoff)
                 backoff = min(backoff * 2, 1.0)
-            work = deferred
+            work = deferred + retry
 
-    def _execute(run_batch):
+    def _execute(run_map):
         if steal:
-            _steal_loop(run_batch)
+            _steal_loop(run_map)
         else:
             for batch in _chunks(pending, chunk_size):
-                _commit(batch, run_batch(batch))
+                _commit(batch, list(run_map(_run_cell, batch)))
 
     if max_workers <= 1 or len(pending) <= 1:
-        _execute(lambda batch: [_run_cell(specs[i]) for i in batch])
+        _execute(lambda fn, batch: map(fn, (specs[i] for i in batch)))
         return results
 
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        # pool.map yields in submission order as results complete, so
+        # the steal loop commits/renews incrementally mid-chunk.
         _execute(
-            lambda batch: list(
-                pool.map(_run_cell, [specs[i] for i in batch], chunksize=1)
+            lambda fn, batch: pool.map(
+                fn, [specs[i] for i in batch], chunksize=1
             )
         )
     return results

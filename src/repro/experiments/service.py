@@ -1,0 +1,454 @@
+"""The HTTP cell service: a shared-nothing campaign backend.
+
+``CellServer`` serves a campaign's cell cache over a **versioned JSON
+protocol** (stdlib :class:`http.server.ThreadingHTTPServer` — no new
+dependencies), so workers on any number of hosts need nothing in
+common but a TCP route to one server: no NFS export, no shared SQLite
+file, no coherent filesystem semantics anywhere.  The matching client
+is :class:`repro.experiments.backends.ServiceBackend`; the CLI front
+ends are ``python -m repro.cli cell-server`` (serve) and
+``campaign-status`` (monitor).  The full wire reference with examples
+lives in ``docs/operations.md``.
+
+Design decisions worth knowing:
+
+* **Server-side arbitration.**  Leases, failure records, and the
+  quarantine table live in server memory behind one lock and one
+  clock.  TTL expiry is evaluated against the *server's* clock, so
+  worker clock skew cannot corrupt lease arbitration — the one
+  problem the filesystem backends cannot solve.
+* **Pluggable cell storage.**  Cell *values* are delegated to any
+  :class:`~repro.experiments.backends.CacheBackend` (default
+  :class:`~repro.experiments.backends.MemoryBackend`; a directory or
+  SQLite store makes the served cache durable across server
+  restarts).  Lease/failure/quarantine state is per-server-lifetime:
+  restarting the server frees every lease (workers just re-claim) and
+  clears quarantine (deliberate — a restart is the documented way to
+  re-try quarantined cells after a fix).
+* **Versioned protocol.**  Every path is prefixed ``/v1``; any other
+  prefix is rejected with HTTP 400 and an error naming the version
+  this server speaks, so a client/server mismatch fails loudly at the
+  first request instead of corrupting a campaign.
+* **Monitoring built in.**  ``GET /v1/stats`` exposes the live lease
+  table and per-owner counters (claims, commits, failures, renews) —
+  per-worker throughput for a running campaign without touching the
+  workers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.backends import CacheBackend, MemoryBackend
+
+__all__ = ["CellServer", "PROTOCOL_VERSION", "API_PREFIX"]
+
+#: Wire-protocol version; bump on any incompatible change to the
+#: request/response shapes below.  Clients and servers of different
+#: versions refuse each other loudly (HTTP 400 naming both versions).
+PROTOCOL_VERSION = 1
+API_PREFIX = f"/v{PROTOCOL_VERSION}"
+
+
+def _owner_record() -> dict:
+    return {
+        "claims": 0,
+        "commits": 0,
+        "releases": 0,
+        "renews": 0,
+        "failures": 0,
+        "last_seen": 0.0,
+    }
+
+
+class _ServiceState:
+    """Everything the handlers mutate, behind one lock.
+
+    Cell text is delegated to ``store``; leases, failures, quarantine,
+    and per-owner counters are in-memory (see module docstring for
+    why that is a feature).
+    """
+
+    def __init__(self, store: CacheBackend) -> None:
+        self.store = store
+        self.lock = threading.Lock()
+        self.leases: Dict[str, Tuple[str, float]] = {}
+        self.failures: Dict[str, List[dict]] = {}
+        self.quarantine: Dict[str, dict] = {}
+        self.owners: Dict[str, dict] = {}
+        self.started = time.time()
+
+    def _touch(self, owner: str) -> dict:
+        record = self.owners.setdefault(owner, _owner_record())
+        record["last_seen"] = time.time()
+        return record
+
+    # -- leases --------------------------------------------------------
+    def claim(self, key: str, owner: str, ttl: float) -> dict:
+        with self.lock:
+            record = self._touch(owner)
+            if key in self.quarantine:
+                return {"granted": False, "quarantined": True}
+            held = self.leases.get(key)
+            if held is not None:
+                holder, expires = held
+                if holder != owner and expires > time.time():
+                    return {"granted": False, "quarantined": False}
+            self.leases[key] = (owner, time.time() + ttl)
+            record["claims"] += 1
+            return {"granted": True, "quarantined": False}
+
+    def release(self, key: str, owner: str) -> dict:
+        with self.lock:
+            record = self._touch(owner)
+            held = self.leases.get(key)
+            if held is not None and held[0] == owner:
+                del self.leases[key]
+                record["releases"] += 1
+                return {"released": True}
+            return {"released": False}
+
+    def renew(self, key: str, owner: str, ttl: float) -> dict:
+        with self.lock:
+            record = self._touch(owner)
+            held = self.leases.get(key)
+            if held is None or held[0] != owner or held[1] <= time.time():
+                # Expired (or stolen) leases are NOT renewable — the
+                # worker must re-claim, which can fail, which is how
+                # it learns a peer may be recomputing its cell.
+                return {"renewed": False}
+            self.leases[key] = (owner, time.time() + ttl)
+            record["renews"] += 1
+            return {"renewed": True}
+
+    # -- cells ---------------------------------------------------------
+    def put(self, key: str, value: str) -> None:
+        # Attribute the commit to the lease holder (the façade's put
+        # carries no owner; the lease table knows whose cell this is).
+        with self.lock:
+            held = self.leases.get(key)
+            owner = held[0] if held is not None else "(unleased)"
+            self._touch(owner)["commits"] += 1
+        self.store.put(key, value)
+
+    # -- failures / quarantine -----------------------------------------
+    def record_failure(
+        self, key: str, owner: str, error: str, request_id: str = ""
+    ) -> dict:
+        with self.lock:
+            records = self.failures.setdefault(key, [])
+            # Idempotency: a client that lost the *response* retries
+            # the report; the echoed id identifies the duplicate so
+            # one real crash never spends two units of the
+            # quarantine budget.  (Records are capped by the failure
+            # budget, so the scan is a handful of entries.)
+            duplicate = request_id and any(
+                r.get("id") == request_id for r in records
+            )
+            record = self._touch(owner)
+            if not duplicate:
+                record["failures"] += 1
+                records.append(
+                    {
+                        "owner": owner,
+                        "error": error,
+                        "time": time.time(),
+                        "id": request_id,
+                    }
+                )
+            return {
+                "count": len(records),
+                "quarantined": key in self.quarantine,
+            }
+
+    def mark_quarantined(self, key: str) -> dict:
+        with self.lock:
+            records = list(self.failures.get(key, []))
+            self.quarantine.setdefault(
+                key, {"count": len(records), "failures": records}
+            )
+            return {"quarantined": True}
+
+    def quarantine_entry(self, key: str) -> dict:
+        with self.lock:
+            entry = self.quarantine.get(key)
+            failures = list(self.failures.get(key, []))
+            return {
+                "quarantined": entry is not None,
+                "count": entry["count"] if entry else len(failures),
+                "failures": entry["failures"] if entry else failures,
+            }
+
+    # -- monitoring ----------------------------------------------------
+    def stats(self) -> dict:
+        now = time.time()
+        with self.lock:
+            leases = [
+                {
+                    "key": key,
+                    "owner": owner,
+                    "expires_in": round(expires - now, 3),
+                }
+                for key, (owner, expires) in sorted(self.leases.items())
+                if expires > now
+            ]
+            owners = {
+                owner: {
+                    "claims": rec["claims"],
+                    "commits": rec["commits"],
+                    "releases": rec["releases"],
+                    "renews": rec["renews"],
+                    "failures": rec["failures"],
+                    "active_leases": sum(
+                        1
+                        for holder, expires in self.leases.values()
+                        if holder == owner and expires > now
+                    ),
+                    "last_seen_seconds_ago": round(
+                        now - rec["last_seen"], 3
+                    ),
+                }
+                for owner, rec in sorted(self.owners.items())
+            }
+            quarantined = {
+                key: {"count": entry["count"]}
+                for key, entry in sorted(self.quarantine.items())
+            }
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(now - self.started, 3),
+            "cells": len(self.store),
+            "leases": leases,
+            "owners": owners,
+            "quarantined": quarantined,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.1 => keep-alive: one connection per worker for the whole
+    # campaign instead of a TCP handshake per cell operation.
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-cell-server/{PROTOCOL_VERSION}"
+
+    @property
+    def state(self) -> _ServiceState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, *_args) -> None:  # quiet: stats > access logs
+        pass
+
+    # -- plumbing ------------------------------------------------------
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body_json(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._reply(400, {"error": "request body is not valid JSON"})
+            return None
+        if not isinstance(doc, dict):
+            self._reply(400, {"error": "request body must be a JSON object"})
+            return None
+        return doc
+
+    def _route(self) -> Optional[List[str]]:
+        """Split a validated ``/v1/...`` path, or reply 400/None.
+
+        The version gate: any other prefix (including a future ``/v2``)
+        is refused with an error naming the version this server speaks,
+        so mismatched deployments fail at the first request.
+        """
+        path = urllib.parse.urlsplit(self.path).path
+        if path != API_PREFIX and not path.startswith(API_PREFIX + "/"):
+            self._reply(
+                400,
+                {
+                    "error": (
+                        f"unsupported protocol version for path {path!r}: "
+                        f"this server speaks v{PROTOCOL_VERSION} "
+                        f"(paths under {API_PREFIX}/). Upgrade the older "
+                        "side so client and server agree."
+                    ),
+                    "protocol": PROTOCOL_VERSION,
+                },
+            )
+            return None
+        return [
+            urllib.parse.unquote(part)
+            for part in path[len(API_PREFIX) :].split("/")
+            if part
+        ]
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parts = self._route()
+        if parts is None:
+            return
+        state = self.state
+        if parts == ["stats"]:
+            self._reply(200, state.stats())
+        elif parts == ["cells"]:
+            keys = sorted(state.store.keys())
+            self._reply(200, {"keys": keys, "count": len(keys)})
+        elif len(parts) == 2 and parts[0] == "cells":
+            value = state.store.get(parts[1])
+            if value is None:
+                self._reply(404, {"found": False})
+            else:
+                self._reply(200, {"found": True, "value": value})
+        elif parts == ["quarantine"]:
+            with state.lock:
+                cells = {k: dict(v) for k, v in state.quarantine.items()}
+            self._reply(200, {"cells": cells})
+        elif len(parts) == 2 and parts[0] == "quarantine":
+            self._reply(200, state.quarantine_entry(parts[1]))
+        else:
+            self._reply(404, {"error": f"no such endpoint: GET {self.path}"})
+
+    def do_PUT(self) -> None:  # noqa: N802
+        parts = self._route()
+        if parts is None:
+            return
+        if len(parts) == 2 and parts[0] == "cells":
+            doc = self._body_json()
+            if doc is None:
+                return
+            if not isinstance(doc.get("value"), str):
+                self._reply(
+                    400, {"error": 'PUT body must be {"value": "<text>"}'}
+                )
+                return
+            self.state.put(parts[1], doc["value"])
+            self._reply(200, {"stored": True})
+        else:
+            self._reply(404, {"error": f"no such endpoint: PUT {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        parts = self._route()
+        if parts is None:
+            return
+        doc = self._body_json()
+        if doc is None:
+            return
+        state = self.state
+        try:
+            if parts == ["claim"]:
+                self._reply(
+                    200,
+                    state.claim(
+                        doc["key"], doc["owner"], float(doc["ttl"])
+                    ),
+                )
+            elif parts == ["release"]:
+                self._reply(200, state.release(doc["key"], doc["owner"]))
+            elif parts == ["renew"]:
+                self._reply(
+                    200,
+                    state.renew(
+                        doc["key"], doc["owner"], float(doc["ttl"])
+                    ),
+                )
+            elif parts == ["fail"]:
+                self._reply(
+                    200,
+                    state.record_failure(
+                        doc["key"],
+                        doc["owner"],
+                        str(doc["error"]),
+                        str(doc.get("id", "")),
+                    ),
+                )
+            elif parts == ["quarantine"]:
+                self._reply(200, state.mark_quarantined(doc["key"]))
+            else:
+                self._reply(
+                    404, {"error": f"no such endpoint: POST {self.path}"}
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            self._reply(
+                400,
+                {"error": f"malformed request for POST {self.path}: {exc!r}"},
+            )
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # A restarted server must be able to rebind its advertised port
+    # immediately, not after TIME_WAIT drains — workers are retrying.
+    allow_reuse_address = True
+
+    def __init__(self, address, state: _ServiceState) -> None:
+        super().__init__(address, _Handler)
+        self.state = state
+
+
+class CellServer:
+    """The cell service: construct, then :meth:`start` (background
+    thread — tests, examples) or :meth:`serve_forever` (blocking —
+    the ``cell-server`` CLI).
+
+    ``store`` is the backend cell values are kept in (default: memory;
+    pass a :class:`~repro.experiments.backends.DirectoryBackend` or
+    :class:`~repro.experiments.backends.SQLiteBackend` to make the
+    served cache durable across restarts).  ``port=0`` binds an
+    ephemeral port; read :attr:`url` for the actual address.
+    """
+
+    def __init__(
+        self,
+        store: Optional[CacheBackend] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.state = _ServiceState(store if store is not None else MemoryBackend())
+        self._httpd = _Server((host, port), self.state)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CellServer":
+        """Serve on a daemon thread; returns self (``CellServer().start()``)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"cell-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __repr__(self) -> str:
+        return f"CellServer({self.url!r}, store={self.state.store!r})"

@@ -1,9 +1,10 @@
 """Contract tests for the pluggable cell-cache backends.
 
-Every backend (directory, memory, sqlite) must satisfy the same
-storage semantics (opaque key/value, atomic last-wins put) and the
-same lease contract (claim/release with ttl expiry and takeover) —
-the work-stealing scheduler in ``run_cells`` relies on nothing else.
+Every backend (directory, memory, sqlite, HTTP service) must satisfy
+the same storage semantics (opaque key/value, atomic last-wins put),
+the same lease contract (claim/release/renew with ttl expiry and
+takeover), and the same failure/quarantine contract — the
+work-stealing scheduler in ``run_cells`` relies on nothing else.
 """
 
 import json
@@ -16,13 +17,14 @@ import pytest
 from repro.experiments.backends import (
     DirectoryBackend,
     MemoryBackend,
+    ServiceBackend,
     SQLiteBackend,
 )
 from repro.experiments.cache import CellCache
 from repro.experiments.parallel import CellSpec, run_cells
 from repro.metrics.io import result_to_dict
 
-BACKEND_KINDS = ("dir", "memory", "sqlite")
+BACKEND_KINDS = ("dir", "memory", "sqlite", "http")
 
 
 def make_backend(kind, tmp_path):
@@ -30,12 +32,31 @@ def make_backend(kind, tmp_path):
         return DirectoryBackend(tmp_path / "cells")
     if kind == "memory":
         return MemoryBackend()
+    if kind == "http":
+        from repro.experiments.service import CellServer
+
+        server = CellServer().start()
+        backend = ServiceBackend(server.url)
+        backend._test_server = server  # for close_backend
+        return backend
     return SQLiteBackend(tmp_path / "cells.sqlite")
+
+
+def close_backend(backend) -> None:
+    """Release a test backend's resources (no-op where there are none)."""
+    close = getattr(backend, "close", None)
+    if close is not None:
+        close()
+    server = getattr(backend, "_test_server", None)
+    if server is not None:
+        server.stop()
 
 
 @pytest.fixture(params=BACKEND_KINDS)
 def backend(request, tmp_path):
-    return make_backend(request.param, tmp_path)
+    b = make_backend(request.param, tmp_path)
+    yield b
+    close_backend(b)
 
 
 # ----------------------------------------------------------------------
@@ -89,6 +110,63 @@ def test_leases_do_not_count_as_cells(backend):
     assert backend.get("k") is None
 
 
+def test_renew_extends_only_a_live_own_lease(backend):
+    assert backend.claim("k", "alice", ttl=60.0)
+    assert backend.renew("k", "alice", ttl=120.0)
+    # not the holder -> refused, and the holder's lease is untouched
+    assert not backend.renew("k", "bob", ttl=120.0)
+    assert not backend.claim("k", "bob", ttl=60.0)
+    # never leased at all -> refused (renew must not create leases)
+    assert not backend.renew("other", "alice", ttl=60.0)
+    assert len(backend) == 0
+
+
+def test_renew_racing_expiry_refuses(backend):
+    """A lease that expired is NOT renewable — the slow worker must
+    re-claim (which can fail), so it learns a peer may already be
+    recomputing its cell instead of silently extending a lease it no
+    longer holds."""
+    assert backend.claim("k", "slow-worker", ttl=0.05)
+    time.sleep(0.06)
+    assert not backend.renew("k", "slow-worker", ttl=60.0)
+    # ...and after a peer steals the expired lease, still refused.
+    assert backend.claim("k", "thief", ttl=60.0)
+    assert not backend.renew("k", "slow-worker", ttl=60.0)
+    assert backend.renew("k", "thief", ttl=60.0)
+
+
+# ----------------------------------------------------------------------
+# failure / quarantine contract (campaign-level retry relies on this)
+# ----------------------------------------------------------------------
+def test_record_failure_counts_across_owners(backend):
+    assert backend.record_failure("k", "w1", "Traceback...\nKeyError: 'a'") == 1
+    assert backend.record_failure("k", "w2", "Traceback...\nKeyError: 'a'") == 2
+    records = backend.failures("k")
+    assert [r["owner"] for r in records] == ["w1", "w2"]
+    assert all("KeyError" in r["error"] for r in records)
+    assert backend.failures("other") == []
+
+
+def test_quarantined_cell_refuses_claims(backend):
+    backend.record_failure("k", "w1", "boom")
+    assert not backend.is_quarantined("k")
+    backend.quarantine("k")
+    assert backend.is_quarantined("k")
+    assert not backend.claim("k", "w2", ttl=60.0)
+    table = backend.quarantined()
+    assert table["k"]["count"] == 1
+    assert table["k"]["failures"][0]["owner"] == "w1"
+    # idempotent: a second quarantine call does not duplicate the file
+    backend.quarantine("k")
+    assert backend.quarantined()["k"]["count"] == 1
+
+
+def test_quarantine_does_not_affect_other_keys(backend):
+    backend.quarantine("poisoned")
+    assert backend.claim("healthy", "w1", ttl=60.0)
+    assert not backend.is_quarantined("healthy")
+
+
 # ----------------------------------------------------------------------
 # persistence across reopen (the shared-backend scenario)
 # ----------------------------------------------------------------------
@@ -101,6 +179,20 @@ def test_reopen_sees_previous_writes(kind, tmp_path):
     assert second.get("k") == "v"
     # the lease is shared state too: a second process cannot take it
     assert not second.claim("lease", "bob", ttl=60.0)
+
+
+@pytest.mark.parametrize("kind", ("dir", "sqlite"))
+def test_reopen_sees_failures_and_quarantine(kind, tmp_path):
+    """Failure logs and quarantine marks are shared state like cells:
+    a campaign relaunched tomorrow must not retry a poisoned cell."""
+    first = make_backend(kind, tmp_path)
+    assert first.record_failure("k", "w1", "boom") == 1
+    first.quarantine("k")
+    second = make_backend(kind, tmp_path)
+    assert second.record_failure("other", "w2", "crash") == 1
+    assert second.is_quarantined("k")
+    assert second.quarantined()["k"]["count"] == 1
+    assert not second.claim("k", "w2", ttl=60.0)
 
 
 def test_sqlite_uses_wal(tmp_path):

@@ -88,13 +88,23 @@ def test_sequential_run_cells_and_cache_agree(delay, workload, tmp_path):
 
 
 # one source of truth for the backend matrix: tests/test_backends.py
-from test_backends import BACKEND_KINDS, make_backend
+from test_backends import BACKEND_KINDS, close_backend, make_backend
 
 
-def _make_cache(kind, tmp_path):
-    if kind == "dir":
-        return CellCache(tmp_path / "cells")  # the historical entry point
-    return CellCache(backend=make_backend(kind, tmp_path))
+@pytest.fixture
+def make_cache(tmp_path, request):
+    """Build a CellCache over any backend kind, with teardown (the
+    http kind runs a live in-process CellServer)."""
+
+    def _make(kind):
+        if kind == "dir":
+            cache = CellCache(tmp_path / "cells")  # historical entry point
+        else:
+            cache = CellCache(backend=make_backend(kind, tmp_path))
+        request.addfinalizer(lambda: close_backend(cache.backend))
+        return cache
+
+    return _make
 
 
 def _steal_specs():
@@ -105,10 +115,10 @@ def _steal_specs():
 
 
 @pytest.mark.parametrize("kind", BACKEND_KINDS)
-def test_sharded_union_equals_unsharded(kind, tmp_path):
+def test_sharded_union_equals_unsharded(kind, tmp_path, make_cache):
     specs = _steal_specs()
     reference = _dicts(run_cells(specs, max_workers=1))
-    cache = _make_cache(kind, tmp_path)
+    cache = make_cache(kind)
     for index in range(3):
         run_cells(specs, max_workers=1, cache=cache, shard=(index, 3))
     merged = run_cells(specs, max_workers=1, cache=cache)
@@ -120,10 +130,10 @@ def test_sharded_union_equals_unsharded(kind, tmp_path):
 # work stealing: sequential = pooled = static shards = stolen union
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("kind", BACKEND_KINDS)
-def test_work_stealing_matches_sequential(kind, tmp_path):
+def test_work_stealing_matches_sequential(kind, tmp_path, make_cache):
     specs = _steal_specs()
     reference = _dicts(run_cells(specs, max_workers=1))
-    cache = _make_cache(kind, tmp_path)
+    cache = make_cache(kind)
 
     stolen = run_cells(
         specs,
@@ -156,13 +166,13 @@ def test_work_stealing_matches_sequential(kind, tmp_path):
     assert cache.misses == 0  # it computed (and thus missed) nothing
 
 
-def test_steal_with_shard_priority_completes_everything(tmp_path):
+def test_steal_with_shard_priority_completes_everything(tmp_path, make_cache):
     """shard=(i, k) under steal=True is a claim-priority seed, not a
     filter: a lone worker finishes the whole campaign (stealing the
     other shards' cells), bit-for-bit equal to the sequential run."""
     specs = _steal_specs()
     reference = _dicts(run_cells(specs, max_workers=1))
-    cache = _make_cache("sqlite", tmp_path)
+    cache = make_cache("sqlite")
     result = run_cells(
         specs,
         max_workers=1,
@@ -176,12 +186,12 @@ def test_steal_with_shard_priority_completes_everything(tmp_path):
     assert _dicts(result) == reference
 
 
-def test_steal_recovers_a_crashed_peers_expired_leases(tmp_path):
+def test_steal_recovers_a_crashed_peers_expired_leases(tmp_path, make_cache):
     """Cells leased by a worker that died without committing are
     re-claimed after the ttl and recomputed by the survivor."""
     specs = _steal_specs()
     reference = _dicts(run_cells(specs, max_workers=1))
-    cache = _make_cache("sqlite", tmp_path)
+    cache = make_cache("sqlite")
     for spec in specs[:2]:  # the "crashed peer" leased two cells...
         assert cache.claim(spec, "ghost", ttl=0.2)
 
@@ -202,6 +212,117 @@ def test_steal_recovers_a_crashed_peers_expired_leases(tmp_path):
 def test_steal_requires_a_cache():
     with pytest.raises(ValueError, match="requires a cache"):
         run_cells(_steal_specs(), steal=True)
+
+
+# ----------------------------------------------------------------------
+# retry / quarantine: deterministic crashes stop ping-ponging
+# ----------------------------------------------------------------------
+def _poison_spec():
+    # An algorithm name the registry rejects at run time: the cell
+    # crashes deterministically, on every worker, every attempt.
+    return CellSpec("no-such-algorithm", 4, 0, ("burst", 1))
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+def test_deterministically_crashing_cell_is_quarantined(kind, make_cache):
+    specs = _steal_specs()[:2] + [_poison_spec()]
+    cache = make_cache(kind)
+    result = run_cells(
+        specs,
+        max_workers=1,
+        cache=cache,
+        steal=True,
+        owner="worker-1",
+        max_failures=3,
+        steal_timeout=60.0,
+    )
+    # The healthy cells completed; the poisoned one did not hang the
+    # run (pre-quarantine it would ping-pong forever) and its slot
+    # stays None.
+    assert [r is not None for r in result] == [True, True, False]
+    assert cache.is_quarantined(specs[2])
+    record = cache.quarantined()[specs[2].cache_key()]
+    assert record["count"] == 3  # the whole failure budget was spent
+    assert "no-such-algorithm" in record["failures"][-1]["error"]
+
+
+def test_stealers_skip_quarantined_cells(make_cache):
+    """A late worker adopts the healthy cells and does not retry the
+    quarantined one — no new failures, no new computation."""
+    specs = _steal_specs()[:2] + [_poison_spec()]
+    cache = make_cache("sqlite")
+    run_cells(
+        specs, max_workers=1, cache=cache, steal=True,
+        owner="worker-1", max_failures=2, steal_timeout=60.0,
+    )
+    assert cache.quarantined()[specs[2].cache_key()]["count"] == 2
+
+    cache.hits = cache.misses = cache.writes = 0
+    again = run_cells(
+        specs, max_workers=1, cache=cache, steal=True,
+        owner="worker-2", max_failures=2, steal_timeout=60.0,
+    )
+    assert [r is not None for r in again] == [True, True, False]
+    assert cache.writes == 0  # nothing recomputed...
+    assert cache.quarantined()[specs[2].cache_key()]["count"] == 2  # ...or retried
+
+
+def test_transient_failures_are_retried_not_quarantined(make_cache):
+    """A cell that fails fewer than max_failures times is retried to
+    success by the same stealing run; nothing is quarantined."""
+    from repro.experiments import parallel as parallel_mod
+
+    specs = _steal_specs()[:2]
+    reference = _dicts(run_cells(specs, max_workers=1))
+    cache = make_cache("memory")
+    flaky_key = specs[0].cache_key()
+    crashes = {"left": 2}
+    real = parallel_mod._run_cell
+
+    def flaky(spec):
+        if spec.cache_key() == flaky_key and crashes["left"] > 0:
+            crashes["left"] -= 1
+            raise RuntimeError("transient backend hiccup")
+        return real(spec)
+
+    parallel_mod._run_cell = flaky
+    try:
+        result = run_cells(
+            specs, max_workers=1, cache=cache, steal=True,
+            owner="worker-1", max_failures=3, steal_timeout=60.0,
+        )
+    finally:
+        parallel_mod._run_cell = real
+    assert _dicts(result) == reference  # bit-for-bit despite retries
+    assert not cache.quarantined()
+    assert len(cache.backend.failures(flaky_key)) == 2
+    # the flaky cell was claimed three times but is ONE miss — the
+    # steal-mode invariant misses == writes must survive retries
+    assert cache.misses == cache.writes == len(specs)
+
+
+def test_campaign_surfaces_quarantined_cells(tmp_path):
+    """Campaign.run maps backend case files to cell indices and the
+    markdown summary names the crash."""
+    from repro.experiments import Campaign
+
+    campaign = Campaign(name="quarantine-surfacing").add_sweep(
+        ["rcv"], [4], [0]
+    )
+    campaign.cells.append(_poison_spec())
+    cache = CellCache(tmp_path / "cells")
+    result = campaign.run(
+        max_workers=1, cache=cache, steal=True,
+        owner="worker-1", steal_timeout=60.0,
+    )
+    assert list(result.quarantined) == [1]
+    assert result.quarantined[1]["count"] == 3
+    assert not result.complete
+    report = result.to_markdown()
+    assert "Quarantined: 1 cell(s)" in report
+    assert "no-such-algorithm" in report
+    with pytest.raises(ValueError, match="quarantined"):
+        result.save(tmp_path / "results.json")
 
 
 # ----------------------------------------------------------------------

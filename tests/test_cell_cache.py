@@ -218,3 +218,149 @@ def test_default_progress_sized_to_shard(tmp_path, capsys):
     run_cells(specs, max_workers=1, cache=cache, progress=True)
     err = capsys.readouterr().err
     assert "4/4 cells (100%)" in err
+
+
+# ----------------------------------------------------------------------
+# backend infrastructure failures surface typed, with a remedy
+# ----------------------------------------------------------------------
+class _FlakyBackend:
+    """A backend whose storage layer dies mid-campaign."""
+
+    def __init__(self, exc):
+        self.exc = exc
+        self.root = "/mnt/gone"
+
+    def get(self, key):
+        raise self.exc
+
+    def put(self, key, value):
+        raise self.exc
+
+    def claim(self, key, owner, ttl):
+        raise self.exc
+
+    def release(self, key, owner):
+        raise self.exc
+
+    def renew(self, key, owner, ttl):
+        raise self.exc
+
+    def record_failure(self, key, owner, error):
+        raise self.exc
+
+    def quarantine(self, key):
+        raise self.exc
+
+    def is_quarantined(self, key):
+        raise self.exc
+
+    def quarantined(self):
+        raise self.exc
+
+    def keys(self):
+        return iter(())
+
+    def __len__(self):
+        return 0
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ConnectionRefusedError(111, "refused"), PermissionError(13, "denied")],
+    ids=["connection-refused", "permission"],
+)
+def test_backend_oserrors_surface_as_backend_unavailable(exc):
+    """A connection refused (or a vanished mount) mid-campaign must
+    not escape as a bare OSError from deep inside the façade: the
+    typed error names the backend and the remedy."""
+    from repro.experiments.backends import BackendUnavailableError
+
+    cache = CellCache(backend=_FlakyBackend(exc))
+    for op in [
+        lambda: cache.get(_spec()),
+        lambda: cache.peek(_spec()),
+        lambda: cache.claim(_spec(), "w", 60.0),
+        lambda: cache.release(_spec(), "w"),
+        lambda: cache.renew(_spec(), "w", 60.0),
+        lambda: cache.record_failure(_spec(), "w", "boom"),
+        lambda: cache.quarantine(_spec()),
+        lambda: cache.is_quarantined(_spec()),
+        lambda: cache.quarantined(),
+    ]:
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            op()
+        message = str(excinfo.value)
+        assert "_FlakyBackend" in message  # names the backend...
+        assert "/mnt/gone" in message  # ...and where it lives
+        assert "re-run" in message  # ...and the remedy
+
+
+def test_backend_sqlite_errors_surface_as_backend_unavailable(tmp_path):
+    """A locked-out / closed database is infrastructure failure, not
+    cache corruption."""
+    import sqlite3
+
+    from repro.experiments.backends import (
+        BackendUnavailableError,
+        SQLiteBackend,
+    )
+
+    backend = SQLiteBackend(tmp_path / "cells.sqlite")
+    cache = CellCache(backend=backend)
+    backend.close()  # further use raises sqlite3.ProgrammingError
+    with pytest.raises(BackendUnavailableError, match="SQLiteBackend"):
+        cache.get(_spec())
+
+
+def test_backend_unavailable_is_not_raised_for_cell_corruption(tmp_path):
+    """The boundary: corrupt *cells* keep their precise errors (the
+    format/spec mismatch messages); only *infrastructure* failures
+    map to BackendUnavailableError."""
+    cache = CellCache(tmp_path)
+    spec = _spec()
+    [fresh] = run_cells([spec], max_workers=1)
+    cache.put(spec, fresh)
+    path = cache.path_for(spec)
+    doc = json.loads(path.read_text())
+    doc["format_version"] = "ancient"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="format_version"):
+        cache.get(spec)
+
+
+def test_legacy_backend_without_quarantine_support_still_runs(tmp_path):
+    """A custom backend implementing only the original contract
+    (get/put/claim/release/keys/len) must keep working for plain and
+    campaign runs — quarantine reporting is an optional capability,
+    not a new hard requirement."""
+    from repro.experiments import Campaign
+
+    class LegacyBackend:
+        def __init__(self):
+            self._store = {}
+
+        def get(self, key):
+            return self._store.get(key)
+
+        def put(self, key, value):
+            self._store[key] = value
+
+        def claim(self, key, owner, ttl):
+            return True
+
+        def release(self, key, owner):
+            pass
+
+        def keys(self):
+            return iter(list(self._store))
+
+        def __len__(self):
+            return len(self._store)
+
+    cache = CellCache(backend=LegacyBackend())
+    result = Campaign(name="legacy").add_sweep(["rcv"], [4], [0]).run(
+        max_workers=1, cache=cache
+    )
+    assert result.complete
+    assert result.quarantined == {}
+    assert cache.quarantined() == {}

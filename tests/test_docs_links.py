@@ -20,6 +20,7 @@ DOC_FILES = sorted(
         *(REPO / "docs").glob("*.md"),
         REPO / "ARCHITECTURE.md",
         REPO / "EXPERIMENTS.md",
+        REPO / "PAPER.md",
         REPO / "ROADMAP.md",
     ]
 )
@@ -37,7 +38,29 @@ def _relative_links(path: Path):
 def test_doc_set_exists():
     assert (REPO / "docs" / "protocol.md").exists()
     assert (REPO / "docs" / "examples.md").exists()
+    assert (REPO / "docs" / "campaigns.md").exists()
+    assert (REPO / "docs" / "operations.md").exists()
+    assert (REPO / "docs" / "README.md").exists()
     assert DOC_FILES, "documentation set is empty"
+
+
+def test_docs_index_lists_every_docs_page():
+    """docs/README.md is the index: a page added to docs/ without an
+    index entry is invisible to readers."""
+    index = (REPO / "docs" / "README.md").read_text(encoding="utf-8")
+    for page in (REPO / "docs").glob("*.md"):
+        if page.name == "README.md":
+            continue
+        assert f"({page.name})" in index, f"docs/README.md misses {page.name}"
+
+
+def test_paper_md_has_title_and_abstract():
+    """PAPER.md must carry the real paper title and a summary, not
+    the empty seed block."""
+    text = (REPO / "PAPER.md").read_text(encoding="utf-8")
+    assert "Relative Consensus Voting" in text
+    assert "## Summary" in text
+    assert "## What this repository covers" in text
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)

@@ -26,6 +26,7 @@ def test_examples_directory_is_complete():
         "tcp_cluster.py",
         "crash_recovery.py",
         "topology_latencies.py",
+        "multi_host_campaign.py",
     }
     assert expected <= set(ALL_EXAMPLES)
 

@@ -1,0 +1,370 @@
+"""HTTP cell service edge cases (wire level) and monitoring CLI.
+
+The generic backend contract — storage, claim/release/renew with ttl
+expiry (including renewal racing expiry), failure/quarantine — runs
+against the live service via the ``http`` kind in
+``tests/test_backends.py`` / ``tests/test_campaign_parity.py``.  This
+file pins what only the *wire* can get wrong: the versioned protocol
+gate, response shapes (``/stats`` in particular — the monitoring
+contract), server-side arbitration between independent clients, and
+the typed unavailability error.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.experiments.backends import BackendUnavailableError, ServiceBackend
+from repro.experiments.service import API_PREFIX, PROTOCOL_VERSION, CellServer
+
+
+@pytest.fixture
+def server():
+    srv = CellServer().start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def backend(server):
+    b = ServiceBackend(server.url)
+    yield b
+    b.close()
+
+
+def _raw(server, method, path, body=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# protocol version gate
+# ----------------------------------------------------------------------
+def test_protocol_version_mismatch_is_rejected_loudly(server):
+    for path in ("/v2/stats", "/v0/cells", "/stats", "/"):
+        status, doc = _raw(server, "GET", path)
+        assert status == 400, path
+        assert f"speaks v{PROTOCOL_VERSION}" in doc["error"]
+        assert doc["protocol"] == PROTOCOL_VERSION
+    # ...and the gate guards mutations too, before any state changes
+    status, doc = _raw(
+        server, "POST", "/v2/claim", {"key": "k", "owner": "w", "ttl": 60}
+    )
+    assert status == 400
+    assert "unsupported protocol version" in doc["error"]
+    assert server.state.leases == {}
+
+
+def test_current_version_paths_are_served(server):
+    status, doc = _raw(server, "GET", f"{API_PREFIX}/stats")
+    assert status == 200
+    assert doc["protocol"] == PROTOCOL_VERSION
+
+
+# ----------------------------------------------------------------------
+# response shapes
+# ----------------------------------------------------------------------
+def test_stats_shape_is_pinned(server, backend):
+    """The monitoring contract: campaign-status and any dashboard a
+    user scripts against /v1/stats depend on exactly these keys."""
+    backend.put("cell-1", "{}")
+    assert backend.claim("cell-2", "worker-a", ttl=60.0)
+    backend.record_failure("cell-3", "worker-a", "boom")
+    backend.quarantine("cell-3")
+
+    stats = backend.stats()
+    assert sorted(stats) == [
+        "cells",
+        "leases",
+        "owners",
+        "protocol",
+        "quarantined",
+        "uptime_seconds",
+    ]
+    assert stats["protocol"] == PROTOCOL_VERSION
+    assert stats["cells"] == 1
+    [lease] = stats["leases"]
+    assert sorted(lease) == ["expires_in", "key", "owner"]
+    assert lease["key"] == "cell-2"
+    assert lease["owner"] == "worker-a"
+    assert 0 < lease["expires_in"] <= 60.0
+    worker = stats["owners"]["worker-a"]
+    assert sorted(worker) == [
+        "active_leases",
+        "claims",
+        "commits",
+        "failures",
+        "last_seen_seconds_ago",
+        "releases",
+        "renews",
+    ]
+    assert worker["claims"] == 1 and worker["failures"] == 1
+    assert worker["active_leases"] == 1
+    assert stats["quarantined"] == {"cell-3": {"count": 1}}
+
+
+def test_expired_leases_drop_out_of_stats(server, backend):
+    import time
+
+    assert backend.claim("k", "w", ttl=0.05)
+    time.sleep(0.06)
+    stats = backend.stats()
+    assert stats["leases"] == []
+    assert stats["owners"]["w"]["active_leases"] == 0
+
+
+def test_claim_response_carries_the_quarantine_flag(server, backend):
+    """Wire-level: a claim refused by quarantine says so, which is
+    what lets a client distinguish 'leased by a live peer, poll
+    again' from 'poisoned, give up'."""
+    status, doc = _raw(
+        server,
+        "POST",
+        f"{API_PREFIX}/claim",
+        {"key": "k", "owner": "w", "ttl": 60},
+    )
+    assert (doc["granted"], doc["quarantined"]) == (True, False)
+    backend.quarantine("other")
+    status, doc = _raw(
+        server,
+        "POST",
+        f"{API_PREFIX}/claim",
+        {"key": "other", "owner": "w", "ttl": 60},
+    )
+    assert (doc["granted"], doc["quarantined"]) == (False, True)
+
+
+def test_malformed_requests_get_400_not_500(server):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("POST", f"{API_PREFIX}/claim", body=b"{not json")
+        assert conn.getresponse().status == 400
+    finally:
+        conn.close()
+    # missing fields
+    status, doc = _raw(server, "POST", f"{API_PREFIX}/claim", {"key": "k"})
+    assert status == 400 and "malformed" in doc["error"]
+    # non-object body
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("POST", f"{API_PREFIX}/claim", body=b'"a string"')
+        assert conn.getresponse().status == 400
+    finally:
+        conn.close()
+
+
+def test_unknown_endpoints_get_404(server):
+    status, doc = _raw(server, "GET", f"{API_PREFIX}/nope")
+    assert status == 404 and "no such endpoint" in doc["error"]
+    status, doc = _raw(server, "POST", f"{API_PREFIX}/cells", {})
+    assert status == 404
+
+
+# ----------------------------------------------------------------------
+# shared-nothing: independent clients, one arbiter
+# ----------------------------------------------------------------------
+def test_two_clients_share_cells_leases_and_quarantine(server):
+    a = ServiceBackend(server.url)
+    b = ServiceBackend(server.url)
+    try:
+        a.put("cell", "payload")
+        assert b.get("cell") == "payload"
+        assert a.claim("lease", "worker-a", ttl=60.0)
+        assert not b.claim("lease", "worker-b", ttl=60.0)
+        a.quarantine("poisoned")
+        assert b.is_quarantined("poisoned")
+    finally:
+        a.close()
+        b.close()
+
+
+def test_durable_store_survives_server_restart(tmp_path):
+    """Leases/quarantine are deliberately per-server-lifetime, but
+    cells in a dir/sqlite store must survive a restart."""
+    from repro.experiments.backends import DirectoryBackend
+
+    first = CellServer(DirectoryBackend(tmp_path / "cells")).start()
+    client = ServiceBackend(first.url)
+    client.put("cell", "payload")
+    assert client.claim("cell", "worker-a", ttl=3600.0)
+    client.quarantine("poisoned")
+    client.close()
+    first.stop()
+
+    second = CellServer(DirectoryBackend(tmp_path / "cells")).start()
+    try:
+        client = ServiceBackend(second.url)
+        assert client.get("cell") == "payload"  # cells: durable
+        assert client.claim("cell", "worker-b", ttl=60.0)  # leases: reset
+        assert not client.is_quarantined("poisoned")  # quarantine: reset
+        client.close()
+    finally:
+        second.stop()
+
+
+# ----------------------------------------------------------------------
+# unavailability: typed, named, with a remedy
+# ----------------------------------------------------------------------
+def test_dead_server_raises_backend_unavailable():
+    server = CellServer().start()
+    url = server.url
+    backend = ServiceBackend(url)
+    server.stop()
+    backend.close()  # force the next request onto a fresh connection
+    with pytest.raises(BackendUnavailableError) as excinfo:
+        backend.get("cell")
+    message = str(excinfo.value)
+    assert url in message
+    assert "cell-server" in message  # the remedy names the command
+
+
+def test_constructor_fails_fast_on_unreachable_server():
+    server = CellServer().start()
+    url = server.url
+    server.stop()
+    with pytest.raises(BackendUnavailableError, match="unreachable"):
+        ServiceBackend(url)
+
+
+def test_rejects_non_http_urls():
+    with pytest.raises(ValueError, match="only http"):
+        ServiceBackend("https://example.com:1234")
+
+
+# ----------------------------------------------------------------------
+# CLI: campaign-status and the store spec
+# ----------------------------------------------------------------------
+def test_campaign_status_renders_workers_and_quarantine(server, capsys):
+    from repro.cli import main
+
+    backend = ServiceBackend(server.url)
+    assert backend.claim("cell-a", "worker-a", ttl=60.0)
+    backend.put("cell-a", "{}")
+    backend.record_failure("cell-b", "worker-a", "boom")
+    backend.quarantine("cell-b")
+    backend.close()
+
+    assert main(["campaign-status", "--server", server.url]) == 0
+    out = capsys.readouterr().out
+    assert f"cell-server {server.url}" in out
+    assert "cells stored : 1" in out
+    assert "worker-a" in out
+    assert "quarantined cells" in out
+
+    assert main(["campaign-status", "--server", server.url, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["protocol"] == PROTOCOL_VERSION
+
+
+def test_campaign_status_names_remedy_when_server_is_down():
+    from repro.cli import main
+
+    server = CellServer().start()
+    url = server.url
+    server.stop()
+    with pytest.raises(SystemExit, match="cell-server"):
+        main(["campaign-status", "--server", url])
+
+
+def test_store_spec_parsing(tmp_path):
+    from repro.cli import _parse_store
+    from repro.experiments.backends import (
+        DirectoryBackend,
+        MemoryBackend,
+        SQLiteBackend,
+    )
+
+    assert isinstance(_parse_store("memory"), MemoryBackend)
+    assert isinstance(
+        _parse_store(f"dir:{tmp_path / 'cells'}"), DirectoryBackend
+    )
+    sqlite_store = _parse_store(f"sqlite:{tmp_path / 'cells.sqlite'}")
+    assert isinstance(sqlite_store, SQLiteBackend)
+    sqlite_store.close()
+    with pytest.raises(SystemExit, match="malformed"):
+        _parse_store("dir")
+    with pytest.raises(SystemExit, match="unknown --store kind"):
+        _parse_store("redis:host")
+
+
+def test_campaign_cli_requires_server_for_http_backend(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="--server"):
+        main(
+            ["campaign", "--backend", "http", "--out", str(tmp_path / "out")]
+        )
+
+
+def test_duplicate_failure_reports_are_not_double_counted(server, backend):
+    """/v1/fail is retried by the client when a response is lost; the
+    echoed request id must keep one real crash from spending two
+    units of the quarantine budget."""
+    status, doc = _raw(
+        server,
+        "POST",
+        f"{API_PREFIX}/fail",
+        {"key": "k", "owner": "w", "error": "boom", "id": "aaaa"},
+    )
+    assert doc["count"] == 1
+    # the retry of the same report (same id)
+    status, doc = _raw(
+        server,
+        "POST",
+        f"{API_PREFIX}/fail",
+        {"key": "k", "owner": "w", "error": "boom", "id": "aaaa"},
+    )
+    assert doc["count"] == 1
+    # a genuinely new crash still counts
+    status, doc = _raw(
+        server,
+        "POST",
+        f"{API_PREFIX}/fail",
+        {"key": "k", "owner": "w", "error": "boom", "id": "bbbb"},
+    )
+    assert doc["count"] == 2
+    assert server.state.owners["w"]["failures"] == 2
+
+
+def test_client_failure_reports_carry_unique_ids(server, backend):
+    assert backend.record_failure("k", "w", "boom") == 1
+    assert backend.record_failure("k", "w", "boom") == 2  # distinct ids
+    ids = {r["id"] for r in backend.failures("k")}
+    assert len(ids) == 2 and all(ids)
+
+
+def test_is_quarantined_reuses_the_claim_response(server, backend):
+    """After a refused claim the steal loop asks is_quarantined; the
+    answer rides on the claim response instead of a second GET."""
+    backend.quarantine("poisoned")
+    requests_before = server.state.owners  # warm-up
+    assert not backend.claim("poisoned", "w", ttl=60.0)
+    # Kill the server: if is_quarantined needed a round trip now, it
+    # would raise BackendUnavailableError; the cached claim flag
+    # answers locally.
+    server.stop()
+    assert backend.is_quarantined("poisoned") is True
+
+
+def test_campaign_cli_rejects_malformed_server_url(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="only http"):
+        main(
+            [
+                "campaign",
+                "--backend",
+                "http",
+                "--server",
+                "https://cache:8400",
+                "--out",
+                str(tmp_path / "out"),
+            ]
+        )
