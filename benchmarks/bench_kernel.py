@@ -140,6 +140,32 @@ def test_fast_mode_beats_legacy_mode():
     )
 
 
+def test_fig4_sweep_beats_seed():
+    """Floor guard for the end-to-end figure-4 sweep vs the seed tree.
+
+    The columnar-SI rework measured ~2.4x over the seed commit on the
+    full burst sweep (N=5..30 x 3 seeds); asserting a conservative
+    1.2x keeps the guard robust to noisy CI machines while catching
+    any change that gives the win back.  Skips when the seed tree is
+    unreachable (shallow clone, sdist, or sitting on the seed commit).
+    """
+    import pytest
+
+    seed_sweep = _seed_fig4_sweep_seconds()
+    if seed_sweep is None:
+        pytest.skip("seed tree not reconstructable from git history")
+    current = _fig4_sweep_seconds()
+    ratio = seed_sweep / current
+    print(
+        f"\nfig4 sweep: seed={seed_sweep:.3f}s current={current:.3f}s "
+        f"speedup={ratio:.2f}x"
+    )
+    assert ratio > 1.2, (
+        f"fig4 sweep ({current:.3f}s) no longer meaningfully faster "
+        f"than the seed tree ({seed_sweep:.3f}s)"
+    )
+
+
 def _busy_si(n=30, competitors=10):
     si = SystemInfo(n)
     for i in range(n):

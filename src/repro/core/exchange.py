@@ -242,32 +242,50 @@ def exchange(
     elif covered:
         remote_nonl = mnonl  # read-only below; never aliased into si
     else:
-        remote_nonl = [t for t in mnonl if t.ts > done[t.node]]
+        remote_nonl = [t for t in mnonl if t[1] > done[t[0]]]
 
     # 3. ordered-list merge (Lemma 6/7).  In normal operation Lemma 6
     #    holds and one pruned list is a prefix of the other, which we
     #    detect with a single slice comparison — consistency is then
     #    implied and the merge is "take the longer".  Only genuinely
     #    diverging lists pay for the general order-preserving union.
+    # ``extra`` is the set of ordered tuples the *sender* did not have
+    # (post-merge local NONL minus the message's) — the only ordered
+    # tuples an adopted row can still carry.  The merge case tells us
+    # the answer analytically, so the general ``set(nonl)`` difference
+    # (O(|NONL|) hashing per exchange) is only built on the rare
+    # diverged path.  ``None`` defers the build to the one case that
+    # needs the full local list, and only if rows were adopted.
+    # (Both NONLs are pruned against the merged watermark here, so
+    # differencing against ``remote_nonl`` equals differencing against
+    # the raw message NONL.)
     local_nonl = si.nonl
     new_tuples = ()
+    extra = ()
     if not remote_nonl:
-        pass  # nothing to learn; local list stands (merge identity)
+        extra = None  # sender ordered nothing we know of: extra = local
     elif remote_nonl == local_nonl:
-        pass  # converged — the common steady state
+        pass  # converged — the common steady state; extra = ∅
     elif not local_nonl:
         si.set_nonl(list(remote_nonl))
         new_tuples = set(remote_nonl)
     elif len(remote_nonl) <= len(local_nonl):
-        if local_nonl[: len(remote_nonl)] != remote_nonl:
+        lr = len(remote_nonl)
+        if local_nonl[:lr] != remote_nonl:
             new_tuples = _merge_diverged(
                 si, remote_nonl, on_inconsistency, stats
             )
+            extra = set(si.nonl).difference(remote_nonl)
+        else:
+            # Local strictly extends the sender's list: the extras
+            # are exactly the suffix.
+            extra = set(local_nonl[lr:])
     elif remote_nonl[: len(local_nonl)] == local_nonl:
         si.set_nonl(list(remote_nonl))
         new_tuples = set(remote_nonl[len(local_nonl) :])
     else:
         new_tuples = _merge_diverged(si, remote_nonl, on_inconsistency, stats)
+        extra = set(si.nonl).difference(remote_nonl)
 
     # 4. per-row freshness sync: adopt fresher remote rows by
     #    reference (copy-on-write), leave the rest untouched.
@@ -275,15 +293,15 @@ def exchange(
     mrows = msg_si.rows
     lts = si.row_ts
     mts = msg_si.row_ts
-    log_front = si._log_front
+    stale_add = si._stale.add
     adopted = ()
     max_ts = 0
     if lts != mts:  # C-level freshness sweep: equal vectors ⇒ none fresher
         adopted = []
-        for j, mt in enumerate(mts):
-            if mt > lts[j]:
+        for j, (lt, mt) in enumerate(zip(lts, mts)):
+            if mt > lt:
                 lts[j] = mt
-                log_front(j)
+                stale_add(j)
                 rrow = mrows[j]
                 rrow.shared = True
                 rows[j] = rrow
@@ -300,75 +318,92 @@ def exchange(
     # dirtied by NONL growth (new_tuples).
     adopted_cloned = 0
     if adopted or new_tuples:
-        # Suspect sets: an adopted row was clean against the
-        # *sender's* watermark and NONL at snapshot time, so one of
-        # its tuples can need pruning only where the receiver knows
-        # strictly more — a node whose completion the sender had not
-        # seen (``adv``: done[k] > sender's done[k]) or an ordered
-        # tuple the sender's NONL lacked (``extra``).  Both sets are
-        # tiny, and by Lemma 1 a row holds at most one tuple per
-        # node, so each adopted row is tested against them through
-        # its cached node map in O(|adv| + |extra|) instead of an
-        # O(|MNL|) scan.
-        ordered = set(si.nonl) if si.nonl else ()
+        # An adopted row was clean against the *sender's* watermark
+        # and NONL at snapshot time, so one of its tuples can need
+        # pruning only where the receiver knows strictly more: a
+        # completion the sender had not seen (impossible when the
+        # merged watermark equals the sender's — ``covered``) or an
+        # ordered tuple the sender's NONL lacked (``extra``).  MNLs
+        # are short (a handful of live requests), so the cheapest
+        # dirt test sweeps each adopted row's own entries directly;
+        # dirty entries are keyed by node (Lemma 1), so a row is
+        # fixed with one C-level ``dict.copy`` plus targeted ``del``s
+        # — no Python rebuild of its clean entries.
         if adopted:
-            if covered:
-                # Merged watermark equals the sender's: no advantage.
-                adv = ()
-            else:
-                adv = [
-                    k
-                    for k, md in enumerate(msg_done)
-                    if done[k] > md
-                ]
-            extra = (
-                ordered.difference(msg_si.nonl) if ordered else ()
-            )
-            if adv or extra:
+            if extra is None:
+                extra = set(si.nonl) if si.nonl else ()
+            if not covered and extra:
                 for j in adopted:
-                    row = rows[j]
-                    nm = row.node_map()
-                    hit = False
-                    for k in adv:
-                        ts_k = nm.get(k)
-                        if ts_k is not None and ts_k <= done[k]:
-                            hit = True
-                            break
-                    if not hit:
-                        for tt in extra:
-                            if nm.get(tt.node) == tt.ts:
-                                hit = True
-                                break
-                    if hit:
-                        si._replace_mnl(
-                            j,
-                            [
-                                u
-                                for u in row.mnl
-                                if u.ts > done[u.node]
-                                and u not in ordered
-                            ],
-                        )
+                    cols = rows[j].cols
+                    bad = None
+                    for node, ts in cols.items():
+                        if ts <= done[node] or (node, ts) in extra:
+                            if bad is None:
+                                bad = [node]
+                            else:
+                                bad.append(node)
+                    if bad:
+                        new_cols = cols.copy()
+                        for k in bad:
+                            del new_cols[k]
+                        si._replace_cols(j, new_cols)
+                        adopted_cloned += 1
+            elif not covered:
+                for j in adopted:
+                    cols = rows[j].cols
+                    bad = None
+                    for node, ts in cols.items():
+                        if ts <= done[node]:
+                            if bad is None:
+                                bad = [node]
+                            else:
+                                bad.append(node)
+                    if bad:
+                        new_cols = cols.copy()
+                        for k in bad:
+                            del new_cols[k]
+                        si._replace_cols(j, new_cols)
+                        adopted_cloned += 1
+            elif extra:
+                for j in adopted:
+                    cols = rows[j].cols
+                    bad = None
+                    for node, ts in cols.items():
+                        if (node, ts) in extra:
+                            if bad is None:
+                                bad = [node]
+                            else:
+                                bad.append(node)
+                    if bad:
+                        new_cols = cols.copy()
+                        for k in bad:
+                            del new_cols[k]
+                        si._replace_cols(j, new_cols)
                         adopted_cloned += 1
         if new_tuples:
             # Same Lemma 1 shortcut for the untouched local rows: a
-            # row holds a newly ordered tuple iff its node map has
-            # that exact (node, ts) entry — O(|new_tuples|) per row
-            # through the content-cached map instead of an O(|MNL|)
-            # scan.
+            # row holds a newly ordered tuple iff its columnar map
+            # has that exact (node, ts) entry — O(|new_tuples|)
+            # int-keyed lookups per row instead of an O(|MNL|) scan.
             adopted_set = set(adopted)
             nts = list(new_tuples)
             for j, row in enumerate(rows):
-                if j in adopted_set or not row.mnl:
+                cols = row.cols
+                if j in adopted_set or not cols:
                     continue
-                nm = row.node_map()
+                get = cols.get
+                bad = None
                 for tt in nts:
-                    if nm.get(tt.node) == tt.ts:
-                        si._replace_mnl(
-                            j,
-                            [u for u in row.mnl if u not in new_tuples],
-                        )
-                        break
+                    if get(tt[0]) == tt[1]:
+                        if bad is None:
+                            bad = [tt[0]]
+                        else:
+                            bad.append(tt[0])
+                if bad:
+                    new_cols = cols.copy()
+                    for k in bad:
+                        del new_cols[k]
+                    si._replace_cols(j, new_cols)
 
     if stats is not None:
         stats.exchanges += 1

@@ -33,7 +33,7 @@ from repro.net.message import Message
 
 __all__ = ["RequestMessage", "EnterMessage", "InformMessage"]
 
-_get_mnl = attrgetter("mnl")
+_get_cols = attrgetter("cols")
 
 
 class _SnapshotMessage(Message):
@@ -47,9 +47,11 @@ class _SnapshotMessage(Message):
 
     def size_units(self) -> int:
         """O(N) payload of a snapshot-carrying message: one unit of
-        fixed header plus one per carried tuple (NONL + all MNLs)."""
+        fixed header plus one per carried tuple (NONL + all MNLs).
+        Reads the columnar maps' sizes through a C-level
+        attrgetter/len chain — no tuple materialisation."""
         si = self.si
-        carried = len(si.nonl) + sum(map(len, map(_get_mnl, si.rows)))
+        carried = len(si.nonl) + sum(map(len, map(_get_cols, si.rows)))
         return 1 + carried
 
 

@@ -77,6 +77,10 @@ class RCVNode(MutexNode):
         self.next_tup: Optional[ReqTuple] = None
         self._parked: List[_ParkedRM] = []
         self._recovery_timer = None
+        # The forwarding rng stream is a registry singleton keyed by
+        # name; bind it lazily once instead of re-resolving the
+        # f-string + registry lookup on every forward.
+        self._fwd_rng = None
         # A node may appear in its own exclude set (it is the crashed
         # party and simply should not act); requesting while excluded
         # is rejected in _do_request.
@@ -255,7 +259,9 @@ class RCVNode(MutexNode):
         unvisited: tuple,
         hops: int,
     ) -> None:
-        rng = self.env.rng(f"rcv-fwd/{self.node_id}")
+        rng = self._fwd_rng
+        if rng is None:
+            rng = self._fwd_rng = self.env.rng(f"rcv-fwd/{self.node_id}")
         dest = self.policy.choose(unvisited, self.si, rng)
         i = unvisited.index(dest)
         msg = RequestMessage(
@@ -416,4 +422,8 @@ class RCVNode(MutexNode):
         out["exch_prunes_deferred"] = stats.prunes_deferred
         out["si_cow_clones"] = self.si.cow_clones
         out["si_snapshots"] = self.si.snapshots_taken
+        out["si_prunes_run"] = self.si.prunes_run
+        out["si_prunes_skipped"] = self.si.prunes_skipped
+        out["si_fronts_rebuilt"] = self.si.fronts_rebuilt
+        out["si_fronts_reconciled"] = self.si.fronts_reconciled
         return out

@@ -142,9 +142,9 @@ def _committable_leader(
     tp2 = None
     s2 = -1
     for tp, s in votes.items():
-        if s > s1 or (s == s1 and tp.node < tp1.node):
+        if s > s1 or (s == s1 and tp[0] < tp1[0]):
             tp1, s1, tp2, s2 = tp, s, tp1, s1
-        elif s > s2 or (s == s2 and tp.node < tp2.node):
+        elif s > s2 or (s == s2 and tp[0] < tp2[0]):
             tp2, s2 = tp, s
 
     if rule == "paper":

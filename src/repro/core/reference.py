@@ -74,21 +74,46 @@ def _ref_merge_done(si: SystemInfo, other_done) -> None:
         si._done_gen += 1
 
 
+def _ref_own(si: SystemInfo, j: int):
+    """Row ``j`` as a mutable object, bypassing the optimised path's
+    bookkeeping.  Historically rows were never shared in reference
+    mode; with copy-on-write snapshots in the same process a row can
+    arrive shared, so it is cloned here (content-identical)."""
+    row = si.rows[j]
+    if row.shared:
+        row = row.clone()
+        si.rows[j] = row
+    return row
+
+
+def _ref_invalidate(si: SystemInfo) -> None:
+    """Rows were mutated outside the tracked mutators: force the next
+    vote tally to rebuild the front histogram from scratch."""
+    si.gen += 1
+    si._fronts_ok = False
+    si._votes_cache = None
+
+
 def _ref_prune_done(si: SystemInfo) -> None:
     """Historical unconditional prune: full O(N · |MNL|) scan.
 
-    Mutates rows in place (reference mode never shares rows), so it
-    invalidates the optimised path's tracking state.
+    Mutates rows in place (bypassing the incremental tracking), so it
+    invalidates the optimised path's tally state.
     """
     done = si.done
     si.nonl = [t for t in si.nonl if t.ts > done[t.node]]
-    for row in si.rows:
-        if any(t.ts <= done[t.node] for t in row.mnl):
-            row.mnl = [t for t in row.mnl if t.ts > done[t.node]]
-    si.gen += 1
+    for j in range(si.n):
+        row = si.rows[j]
+        if any(ts <= done[node] for node, ts in row.cols.items()):
+            row = _ref_own(si, j)
+            row.cols = {
+                node: ts
+                for node, ts in row.cols.items()
+                if ts > done[node]
+            }
+            row.gen += 1
     si._clean_done_gen = si._done_gen
-    si._front_log = None
-    si._votes_cache = None
+    _ref_invalidate(si)
 
 
 def _ref_prune_ordered(si: SystemInfo) -> None:
@@ -96,24 +121,27 @@ def _ref_prune_ordered(si: SystemInfo) -> None:
     if not si.nonl:
         return
     ordered = set(si.nonl)
-    for row in si.rows:
-        if any(t in ordered for t in row.mnl):
-            row.mnl = [t for t in row.mnl if t not in ordered]
-    si.gen += 1
-    si._front_log = None
-    si._votes_cache = None
+    for j in range(si.n):
+        row = si.rows[j]
+        if any(item in ordered for item in row.cols.items()):
+            row = _ref_own(si, j)
+            row.cols = {
+                node: ts
+                for node, ts in row.cols.items()
+                if (node, ts) not in ordered
+            }
+            row.gen += 1
+    _ref_invalidate(si)
 
 
 def _ref_remove_everywhere(si: SystemInfo, t) -> None:
-    """Historical removal: try every row, no membership pre-check."""
-    for row in si.rows:
-        try:
-            row.mnl.remove(t)
-        except ValueError:
-            pass
-    si.gen += 1
-    si._front_log = None
-    si._votes_cache = None
+    """Historical removal: try every row, no suspect pre-filtering."""
+    for j in range(si.n):
+        if si.rows[j].cols.get(t.node) == t.ts:
+            row = _ref_own(si, j)
+            del row.cols[t.node]
+            row.gen += 1
+    _ref_invalidate(si)
 
 
 def reference_exchange(
@@ -169,9 +197,9 @@ def reference_exchange(
 
     # Rows were replaced/mutated outside own_row(): invalidate the
     # copy-on-write share-epoch so a later snapshot re-marks all,
-    # and the front-delta log so the next vote tally rescans.
+    # and the front histogram so the next vote tally rescans.
     si._need_share = None
-    si._front_log = None
+    si._fronts_ok = False
     si._votes_cache = None
 
 
@@ -262,7 +290,11 @@ def full_snapshot_mode():
     def _ref_forward_rm(self, home, tup, unvisited, hops):
         rng = self.env.rng(f"rcv-fwd/{self.node_id}")
         ul = frozenset(unvisited)
-        dest = rng.choice(sorted(ul))
+        # The historical population shape: sorted sequence rebuilt per
+        # hop.  Routed through the configured policy so non-random
+        # forwarding variants stay comparable (RandomPolicy draws
+        # exactly the historical rng.choice(sorted(ul))).
+        dest = self.policy.choose(tuple(sorted(ul)), self.si, rng)
         msg = RequestMessage(
             home, tup, ul - {dest}, self.si.snapshot(), hops=hops
         )
@@ -275,9 +307,11 @@ def full_snapshot_mode():
             self.counters["stale_rm"] += 1
             self._reprocess_parked()
             return
-        row = self.si.rows[self.node_id]
+        row = _ref_own(self.si, self.node_id)
         if tup not in self.si.nonl:
             row.append_unique(tup)
+            self.si._fronts_ok = False
+            self.si._votes_cache = None
         # Historical cost shape: a Python-level scan per RM (the
         # optimised path maintains the maximum in O(1)).
         row_ts = self.si.row_ts

@@ -20,27 +20,37 @@ The watermark is merged pointwise-max on every exchange, making
 outdated-tuple detection order-insensitive (the paper reconstructs
 the same information from TS comparisons).
 
-Hot-path design (docs/protocol.md, "Performance model")
--------------------------------------------------------
+Hot-path design (docs/performance.md, "Columnar row layout")
+------------------------------------------------------------
 
 The protocol sends a *snapshot* of the SI inside every message and
-merges one on every receipt, which made full-table copying the
-dominant cost of a run.  This module therefore implements:
+merges one on every receipt.  Three layers keep that cheap:
 
+* **Columnar rows** — an MNL is stored as an insertion-ordered
+  ``{node: ts}`` int map (:attr:`Row.cols`), not a list of tuple
+  objects.  Lemma 1 guarantees at most one tuple per node per MNL,
+  so the map is lossless: arrival order is dict insertion order, the
+  front is the first key, and membership / removal / the exchange
+  suspect tests are O(1) int-keyed lookups instead of O(|MNL|) scans
+  over tuple objects.  (A flat ``array``-module vector pair was
+  benchmarked and rejected: per-index access re-boxes the ints and
+  membership stays O(|MNL|), which is slower in pure Python — see
+  docs/performance.md.)  The :attr:`Row.mnl` property keeps the
+  historical list-of-:class:`ReqTuple` view for tests and debugging.
 * **Copy-on-write rows** — :meth:`SystemInfo.snapshot` shares the
   live :class:`Row` objects with the snapshot and marks them
   ``shared``; a shared row is cloned only when it is next mutated
   (:meth:`SystemInfo.own_row`).  Snapshot content is frozen from the
   receiver's point of view — exactly the old deep-copy guarantee —
-  at O(N) pointer copies instead of O(N · |MNL|) list copies.
-* **Dirty generations** — every mutation of the SI bumps
-  ``SystemInfo.gen`` (and the mutated row's ``Row.gen``); the
-  watermark has its own counter so :meth:`prune_done` can *skip*
-  entirely when nothing new finished since the last prune.
-* **Gen-keyed caches** — :meth:`tally_votes`,
-  :meth:`empty_row_count` and :meth:`position_in_nonl` memoise their
-  result keyed by ``gen``, so re-running Order on an unchanged SI is
-  O(1).
+  at O(N) pointer copies instead of O(N · |MNL|) content copies.
+* **Incremental vote tally** — the SI maintains the per-row fronts
+  and the vote histogram live (``_fronts`` / ``_votes`` /
+  ``_empty``); mutators only record the touched row index in the
+  ``_stale`` set, and :meth:`tally_votes` reconciles the handful of
+  stale rows instead of rescanning all N.  ``_fronts_ok = False``
+  marks the whole tally invalid (fresh SIs, snapshots, and the
+  reference implementations use this), forcing one full O(N)
+  rebuild.
 
 Mutation contract
 -----------------
@@ -50,27 +60,30 @@ All protocol-path mutators (``own_row``, ``mark_done``,
 ``remove_everywhere``, ``prune_*``) keep the generation bookkeeping
 and copy-on-write invariants.  Code that mutates ``rows[j]``
 *directly* must first take ownership via :meth:`SystemInfo.own_row`;
-:meth:`Row.append_unique` / :meth:`Row.remove` raise on a shared row
-to turn silent snapshot corruption into a loud error.  Direct
-attribute writes (``si.row_ts[j] = x``, ``si.nonl = [...]``,
-``si.done[j] = x``) remain supported for *building* an SI in tests,
-but only before the first snapshot/exchange touches it.
+:meth:`Row.append_unique` / :meth:`Row.remove` / the ``mnl`` setter
+raise on a shared row to turn silent snapshot corruption into a loud
+error.  Direct attribute writes (``si.row_ts[j] = x``,
+``si.nonl = [...]``, ``si.done[j] = x``, ``si.rows[j].mnl = [...]``)
+remain supported for *building* an SI in tests, but only before the
+first snapshot/exchange touches it.
 """
 
 from __future__ import annotations
 
-from operator import attrgetter
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.tuples import ReqTuple
 
 __all__ = ["Row", "SystemInfo"]
 
-_get_mnl = attrgetter("mnl")
-
 
 class Row:
     """One NSIT row's MNL: requests known received at a node.
+
+    Columnar storage: :attr:`cols` maps ``node -> ts`` in arrival
+    order (dict insertion order).  Lemma 1 — at most one tuple per
+    node per MNL — makes this exactly equivalent to the historical
+    tuple list; :meth:`append_unique` enforces it loudly.
 
     The row's freshness counter lives in the parallel
     ``SystemInfo.row_ts`` int list (so the Exchange freshness sweep
@@ -82,43 +95,74 @@ class Row:
     (copy-on-write).
     """
 
-    __slots__ = ("mnl", "gen", "shared", "_map", "_map_gen")
+    __slots__ = ("cols", "gen", "shared")
 
-    def __init__(self, mnl: Optional[List[ReqTuple]] = None) -> None:
-        self.mnl: List[ReqTuple] = [] if mnl is None else mnl
+    def __init__(self, mnl: Optional[Iterable[ReqTuple]] = None) -> None:
+        if mnl is None:
+            self.cols: Dict[int, int] = {}
+        else:
+            mnl = list(mnl)
+            self.cols = {t[0]: t[1] for t in mnl}
+            if len(self.cols) != len(mnl):
+                raise ValueError(
+                    f"MNL violates Lemma 1 (two tuples of one node): {mnl}"
+                )
         self.gen = 0
         self.shared = False
-        self._map = None
-        self._map_gen = -1
+
+    # -- historical list-of-tuples view --------------------------------
+    @property
+    def mnl(self) -> List[ReqTuple]:
+        """The MNL as the historical ``List[ReqTuple]`` (arrival
+        order).  Builds a fresh list per access — a compatibility /
+        debugging view, never used on the protocol hot path."""
+        return [ReqTuple(n, t) for n, t in self.cols.items()]
+
+    @mnl.setter
+    def mnl(self, tuples: Iterable[ReqTuple]) -> None:
+        """Replace the MNL wholesale (test/builder convenience).
+
+        Raises on a shared row (use :meth:`SystemInfo.own_row`) and
+        on a Lemma 1 violation (dict storage cannot represent two
+        tuples of one node).
+        """
+        self._assert_owned()
+        tuples = list(tuples)
+        cols = {t[0]: t[1] for t in tuples}
+        if len(cols) != len(tuples):
+            raise ValueError(
+                f"MNL violates Lemma 1 (two tuples of one node): {tuples}"
+            )
+        self.cols = cols
+        self.gen += 1
 
     def clone(self) -> "Row":
-        """Unshared deep copy (O(|MNL|)); the clone starts unshared."""
+        """Unshared copy (O(|MNL|)); the clone starts unshared."""
         row = Row.__new__(Row)
-        row.mnl = list(self.mnl)
+        row.cols = self.cols.copy()
         row.gen = self.gen
         row.shared = False
-        # The node map describes content, which the clone shares.
-        row._map = self._map
-        row._map_gen = self._map_gen
         return row
 
-    def node_map(self) -> dict:
-        """``{node: ts}`` view of the MNL (Lemma 1: unique per node).
-
-        Built lazily, cached on ``gen``, and *shared across clones
-        and snapshots* — a row that propagates unmutated through many
-        hops builds its map once.  Exchange uses it to test adopted
-        rows against the handful of suspect nodes/tuples in O(1)
-        per suspect instead of scanning the whole MNL.
-        """
-        if self._map_gen != self.gen:
-            self._map = {t.node: t.ts for t in self.mnl}
-            self._map_gen = self.gen
-        return self._map
+    def node_map(self) -> Dict[int, int]:
+        """``{node: ts}`` view of the MNL — now simply the storage
+        itself (treat as read-only).  Kept for compatibility."""
+        return self.cols
 
     def front(self) -> Optional[ReqTuple]:
         """This row's vote: the oldest pending request it received. O(1)."""
-        return self.mnl[0] if self.mnl else None
+        cols = self.cols
+        if not cols:
+            return None
+        n = next(iter(cols))
+        return ReqTuple(n, cols[n])
+
+    def has(self, t: ReqTuple) -> bool:
+        """Membership test. O(1)."""
+        return self.cols.get(t[0]) == t[1]
+
+    def __len__(self) -> int:
+        return len(self.cols)
 
     def _assert_owned(self) -> None:
         if self.shared:
@@ -128,33 +172,39 @@ class Row:
             )
 
     def append_unique(self, t: ReqTuple) -> bool:
-        """Append ``t`` if absent; returns True when appended. O(|MNL|).
+        """Append ``t`` if absent; returns True when appended. O(1).
 
         A node never holds two tuples for the same request (Lemma 1);
         duplicates can arrive via message merging and are dropped.
         Mutates the row (raises if the row is shared).
         """
         self._assert_owned()
-        if t in self.mnl:
-            return False
-        self.mnl.append(t)
+        cols = self.cols
+        node = t[0]
+        cur = cols.get(node)
+        if cur is not None:
+            if cur == t[1]:
+                return False
+            raise ValueError(
+                f"MNL already holds <{node},{cur}>; appending "
+                f"<{node},{t[1]}> would violate Lemma 1"
+            )
+        cols[node] = t[1]
         self.gen += 1
         return True
 
     def remove(self, t: ReqTuple) -> None:
-        """Remove ``t`` if present (no-op otherwise). O(|MNL|).
+        """Remove ``t`` if present (no-op otherwise). O(1).
 
         Mutates the row (raises if the row is shared).
         """
         self._assert_owned()
-        try:
-            self.mnl.remove(t)
-        except ValueError:
-            return
-        self.gen += 1
+        if self.cols.get(t[0]) == t[1]:
+            del self.cols[t[0]]
+            self.gen += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        tuples = ",".join(t.describe() for t in self.mnl)
+        tuples = ",".join(f"<{n},{t}>" for n, t in self.cols.items())
         flag = "*" if self.shared else ""
         return f"Row{flag}(mnl=[{tuples}])"
 
@@ -162,9 +212,10 @@ class Row:
 class SystemInfo:
     """The SI structure of one node (or the snapshot inside a message).
 
-    See the module docstring for the copy-on-write / dirty-generation
-    design.  ``gen`` is the SI-wide dirty counter: any observable
-    mutation bumps it, and the vote/position caches key off it.
+    See the module docstring for the columnar / copy-on-write /
+    incremental-tally design.  ``gen`` is the SI-wide dirty counter:
+    any observable mutation bumps it, and the vote/position caches
+    key off it.
     """
 
     __slots__ = (
@@ -181,11 +232,17 @@ class SystemInfo:
         "_pos_cache",
         "_max_ts",
         "_need_share",
-        "_front_log",
+        "_fronts",
+        "_votes",
+        "_empty",
+        "_stale",
+        "_fronts_ok",
         "cow_clones",
         "snapshots_taken",
         "prunes_run",
         "prunes_skipped",
+        "fronts_rebuilt",
+        "fronts_reconciled",
     )
 
     def __init__(self, n: int) -> None:
@@ -213,12 +270,18 @@ class SystemInfo:
         # epoch): the next snapshot needs to re-mark only these.
         # None means "mark everything" (fresh SI / untracked rows).
         self._need_share = None
-        # Pre-mutation fronts of rows touched since the last vote
-        # scan (first write wins): lets _vote_scan update the cached
-        # tally by delta instead of rescanning all N rows.  None
-        # means "rows changed outside the tracked mutators — full
-        # scan required" (reference implementations set this).
-        self._front_log: "dict | None" = {}
+        # Incremental vote tally: the tallied front per row, the live
+        # vote histogram over those fronts, and the count of empty
+        # (unknown-vote) rows.  ``_stale`` holds indices of rows
+        # mutated since the tally was last reconciled;
+        # ``_fronts_ok = False`` invalidates the whole tally (full
+        # O(N) rebuild on next use) — fresh SIs, snapshots, and code
+        # that mutates rows outside the tracked mutators use it.
+        self._fronts: List[Optional[ReqTuple]] = []
+        self._votes: Dict[ReqTuple, int] = {}
+        self._empty = 0
+        self._stale: set = set()
+        self._fronts_ok = False
         #: instrumentation: rows cloned lazily by copy-on-write
         self.cow_clones = 0
         #: instrumentation: snapshots taken of this SI
@@ -226,6 +289,11 @@ class SystemInfo:
         #: instrumentation: prune_done full scans run / skipped
         self.prunes_run = 0
         self.prunes_skipped = 0
+        #: instrumentation: vote-tally full rebuilds / stale rows
+        #: reconciled incrementally (the work the columnar tally does
+        #: vs. the N-row rescans it avoids)
+        self.fronts_rebuilt = 0
+        self.fronts_reconciled = 0
 
     # ------------------------------------------------------------------
     # snapshots (messages carry frozen copies) and copy-on-write
@@ -238,7 +306,7 @@ class SystemInfo:
         row first (this SI or a receiver that adopted the row) clones
         it then.  Observably equivalent to the historical deep copy —
         the snapshot's content can never change — without the
-        O(N · |MNL|) list copying per message.
+        O(N · |MNL|) content copying per message.
         """
         si = SystemInfo.__new__(SystemInfo)
         si.n = self.n
@@ -267,11 +335,17 @@ class SystemInfo:
         si._pos_cache = None
         si._max_ts = self._max_ts
         si._need_share = []  # every row of a fresh snapshot is shared
-        si._front_log = {}
+        si._fronts = []
+        si._votes = {}
+        si._empty = 0
+        si._stale = set()
+        si._fronts_ok = False
         si.cow_clones = 0
         si.snapshots_taken = 0
         si.prunes_run = 0
         si.prunes_skipped = 0
+        si.fronts_rebuilt = 0
+        si.fronts_reconciled = 0
         self.snapshots_taken += 1
         return si
 
@@ -280,10 +354,11 @@ class SystemInfo:
 
         Clones the row first iff it is shared (the copy-on-write
         fault, O(|MNL|); O(1) otherwise).  Callers request ownership
-        only to mutate, so this also bumps the SI dirty counter.
+        only to mutate, so this also bumps the SI dirty counter and
+        marks the row's tallied vote stale.
         """
         row = self.rows[j]
-        self._log_front(j)
+        self._stale.add(j)
         if row.shared:
             row = row.clone()
             self.rows[j] = row
@@ -293,39 +368,26 @@ class SystemInfo:
         self.gen += 1
         return row
 
-    def _log_front(self, j: int) -> None:
-        """Record row ``j``'s *pre-mutation* front in the delta log
-        (first write wins). O(1).  Every path that changes a row's
-        MNL — ``own_row`` callers, ``_replace_mnl``, in-place removal,
-        and exchange's row adoption — must call this before mutating,
-        or the delta vote tally goes stale."""
-        log = self._front_log
-        if log is not None and j not in log:
-            mnl = self.rows[j].mnl
-            log[j] = mnl[0] if mnl else None
-
-    def _replace_mnl(self, j: int, new_mnl: List[ReqTuple]) -> None:
-        """Install ``new_mnl`` as row ``j``'s MNL with full
+    def _replace_cols(self, j: int, new_cols: Dict[int, int]) -> None:
+        """Install ``new_cols`` as row ``j``'s MNL with full
         copy-on-write/dirty bookkeeping, without the intermediate
-        list copy a ``own_row()`` + filter pair would make. O(1)
-        beyond the caller-built list."""
+        copy an ``own_row()`` + filter pair would make. O(1) beyond
+        the caller-built dict."""
         rows = self.rows
         row = rows[j]
-        self._log_front(j)
+        self._stale.add(j)
         if row.shared:
             new = Row.__new__(Row)
-            new.mnl = new_mnl
+            new.cols = new_cols
             new.gen = row.gen + 1
             new.shared = False
-            new._map = None
-            new._map_gen = -1
             rows[j] = new
             self.cow_clones += 1
             ns = self._need_share
             if ns is not None:
                 ns.append(j)
         else:
-            row.mnl = new_mnl
+            row.cols = new_cols
             row.gen += 1
         self.gen += 1
 
@@ -376,16 +438,22 @@ class SystemInfo:
             self.prunes_skipped += 1
             return False
         done = self.done
-        if self.nonl and any(t.ts <= done[t.node] for t in self.nonl):
-            self.nonl = [t for t in self.nonl if t.ts > done[t.node]]
+        if self.nonl and any(t[1] <= done[t[0]] for t in self.nonl):
+            self.nonl = [t for t in self.nonl if t[1] > done[t[0]]]
             self.gen += 1
         for j, row in enumerate(self.rows):
-            for t in row.mnl:
-                if t.ts <= done[t.node]:
-                    self._replace_mnl(
-                        j, [u for u in row.mnl if u.ts > done[u.node]]
-                    )
-                    break
+            bad = None
+            for node, ts in row.cols.items():
+                if ts <= done[node]:
+                    if bad is None:
+                        bad = [node]
+                    else:
+                        bad.append(node)
+            if bad:
+                new_cols = row.cols.copy()
+                for k in bad:
+                    del new_cols[k]
+                self._replace_cols(j, new_cols)
         self._clean_done_gen = self._done_gen
         self.prunes_run += 1
         return True
@@ -393,19 +461,21 @@ class SystemInfo:
     def remove_everywhere(self, t: ReqTuple) -> None:
         """Delete ``t`` from all MNLs (paper: 'from any row of NSIT').
 
-        O(N · |MNL|) scan, but only rows actually holding ``t`` are
+        O(N) int-keyed lookups; only rows actually holding ``t`` are
         copy-on-write-faulted and mutated.
         """
+        node, ts = t
+        stale_add = self._stale.add
         for j, row in enumerate(self.rows):
-            mnl = row.mnl
-            if t in mnl:
+            cols = row.cols
+            if cols.get(node) == ts:
                 if row.shared:
-                    # Build the post-removal list directly instead of
-                    # clone-then-remove (tuples are unique per MNL).
-                    self._replace_mnl(j, [u for u in mnl if u != t])
+                    new_cols = cols.copy()
+                    del new_cols[node]
+                    self._replace_cols(j, new_cols)
                 else:
-                    self._log_front(j)
-                    mnl.remove(t)
+                    stale_add(j)
+                    del cols[node]
                     row.gen += 1
                     self.gen += 1
 
@@ -420,12 +490,18 @@ class SystemInfo:
             return
         ordered = set(self.nonl)
         for j, row in enumerate(self.rows):
-            for t in row.mnl:
-                if t in ordered:
-                    self._replace_mnl(
-                        j, [u for u in row.mnl if u not in ordered]
-                    )
-                    break
+            bad = None
+            for node, ts in row.cols.items():
+                if (node, ts) in ordered:
+                    if bad is None:
+                        bad = [node]
+                    else:
+                        bad.append(node)
+            if bad:
+                new_cols = row.cols.copy()
+                for k in bad:
+                    del new_cols[k]
+                self._replace_cols(j, new_cols)
 
     def normalize(self) -> None:
         """Restore both pruning invariants after any merge.
@@ -441,6 +517,8 @@ class SystemInfo:
         """Full, unconditional O(N · |MNL|) restore of both pruning
         invariants — for SIs built or mutated outside the tracked
         mutators (tests, reference implementations)."""
+        self._fronts_ok = False
+        self._votes_cache = None
         self.prune_done(force=True)
         self.prune_ordered_from_rows()
 
@@ -465,84 +543,113 @@ class SystemInfo:
     # ------------------------------------------------------------------
     # vote tallying (input to the Order procedure)
     # ------------------------------------------------------------------
+    def _sync_fronts(self) -> bool:
+        """Bring ``_fronts``/``_votes``/``_empty`` up to date.
+
+        Full O(N) rebuild when the tally is invalid; otherwise
+        reconciles only the rows in ``_stale`` (O(|stale|)).  Returns
+        True iff the histogram may have changed.
+        """
+        if not self._fronts_ok:
+            fronts: List[Optional[ReqTuple]] = []
+            votes: Dict[ReqTuple, int] = {}
+            get = votes.get
+            empty = 0
+            append = fronts.append
+            for row in self.rows:
+                cols = row.cols
+                if cols:
+                    n = next(iter(cols))
+                    f = ReqTuple(n, cols[n])
+                    append(f)
+                    votes[f] = get(f, 0) + 1
+                else:
+                    append(None)
+                    empty += 1
+            self._fronts = fronts
+            self._votes = votes
+            self._empty = empty
+            self._stale.clear()
+            self._fronts_ok = True
+            self.fronts_rebuilt += 1
+            return True
+        stale = self._stale
+        if not stale:
+            return False
+        self.fronts_reconciled += len(stale)
+        fronts = self._fronts
+        votes = self._votes
+        rows = self.rows
+        changed = False
+        for j in stale:
+            cols = rows[j].cols
+            old = fronts[j]
+            if cols:
+                n = next(iter(cols))
+                ts = cols[n]
+                if old is not None and old[0] == n and old[1] == ts:
+                    continue
+                f = ReqTuple(n, ts)
+            else:
+                if old is None:
+                    continue
+                f = None
+            changed = True
+            if old is not None:
+                c = votes[old] - 1
+                if c:
+                    votes[old] = c
+                else:
+                    del votes[old]
+            else:
+                self._empty -= 1
+            if f is not None:
+                votes[f] = votes.get(f, 0) + 1
+            else:
+                self._empty += 1
+            fronts[j] = f
+        stale.clear()
+        return changed
+
     def _vote_scan(self, excluded: frozenset) -> tuple:
-        """One cached O(N) pass producing both the vote tally and the
-        empty-row (unknown-vote) count, keyed on ``gen``."""
+        """Produce the vote tally and the empty-row (unknown-vote)
+        count, cached keyed on ``gen``.  O(|stale rows|) on a dirty
+        SI via the incremental histogram; O(N) only on the first
+        tally after the histogram was invalidated wholesale."""
         cache = self._votes_cache
         gen = self.gen
-        if cache is not None and cache[1] == excluded:
-            if cache[0] == gen:
-                return cache
-            log = self._front_log
-            # Delta pays off only while few rows were touched; past
-            # half the table a fresh scan is cheaper than replaying
-            # the log against a copied tally.
-            if log is not None and len(log) * 2 < self.n:
-                # Delta update: only rows touched since the cached
-                # scan can have changed their front.  O(|touched|).
-                # Phase 1: collect actual front changes.
-                changes = None
-                rows = self.rows
-                for j, old_front in log.items():
-                    if j in excluded:
-                        continue
-                    mnl = rows[j].mnl
-                    new_front = mnl[0] if mnl else None
-                    if new_front != old_front:
-                        if changes is None:
-                            changes = [(old_front, new_front)]
-                        else:
-                            changes.append((old_front, new_front))
-                log.clear()
-                if changes is None:
-                    # Touched rows kept their fronts: restamp only.
-                    cache = (gen, excluded, cache[2], cache[3])
-                    self._votes_cache = cache
-                    return cache
-                # Phase 2: apply to a fresh dict so tallies returned
-                # earlier stay frozen at their generation.
-                votes = dict(cache[2])
-                empty = cache[3]
-                for old_front, new_front in changes:
-                    if old_front is not None:
-                        c = votes[old_front] - 1
-                        if c:
-                            votes[old_front] = c
-                        else:
-                            del votes[old_front]
-                    else:
-                        empty -= 1
-                    if new_front is not None:
-                        votes[new_front] = votes.get(new_front, 0) + 1
-                    else:
-                        empty += 1
-                cache = (gen, excluded, votes, empty)
-                self._votes_cache = cache
-                return cache
-        votes: Dict[ReqTuple, int] = {}
-        empty = 0
-        get = votes.get
+        if cache is not None and cache[0] == gen and cache[1] == excluded:
+            return cache
         if excluded:
+            # Exclusion experiments are rare: pay a plain scan rather
+            # than maintaining a histogram per exclusion set.
+            votes: Dict[ReqTuple, int] = {}
+            get = votes.get
+            empty = 0
             for j, row in enumerate(self.rows):
                 if j in excluded:
                     continue
-                mnl = row.mnl
-                if mnl:
-                    f = mnl[0]
+                cols = row.cols
+                if cols:
+                    n = next(iter(cols))
+                    f = ReqTuple(n, cols[n])
                     votes[f] = get(f, 0) + 1
                 else:
                     empty += 1
         else:
-            for mnl in map(_get_mnl, self.rows):
-                if mnl:
-                    f = mnl[0]
-                    votes[f] = get(f, 0) + 1
-                else:
-                    empty += 1
+            changed = self._sync_fronts()
+            if not changed and cache is not None and cache[1] == excluded:
+                # Rows kept their fronts (only NONL/watermark state
+                # moved): restamp the cached tally.
+                cache = (gen, excluded, cache[2], cache[3])
+                self._votes_cache = cache
+                return cache
+            # Copy so tallies returned earlier stay frozen at their
+            # generation while the live histogram keeps evolving.
+            votes = dict(self._votes)
+            empty = self._empty
         cache = (gen, excluded, votes, empty)
         self._votes_cache = cache
-        # The full scan is ground truth: restart delta tracking here.
-        self._front_log = {}
         return cache
 
     def tally_votes(self, excluded: frozenset = frozenset()) -> Dict[ReqTuple, int]:
@@ -550,8 +657,8 @@ class SystemInfo:
 
         Rows of ``excluded`` (crashed) nodes do not vote: their fronts
         can never change, so counting them could wedge the election.
-        O(N) on a dirty SI; O(1) when the SI is unchanged since the
-        last tally (gen-keyed cache, shared with
+        O(|changed rows|) on a dirty SI; O(1) when the SI is unchanged
+        since the last tally (gen-keyed cache, shared with
         :meth:`empty_row_count`).  The returned dict is shared with
         the cache — treat it as read-only.
         """
@@ -562,8 +669,8 @@ class SystemInfo:
 
         Excluded rows are not unknown: the membership agreement says
         they will never vote, so the threshold closes without them.
-        O(N) on a dirty SI; O(1) cached otherwise (one scan serves
-        both this and :meth:`tally_votes`).
+        Costs are shared with :meth:`tally_votes` (one reconciliation
+        serves both).
         """
         return self._vote_scan(excluded)[3]
 

@@ -6,12 +6,22 @@ Public surface:
   metrics + safety wiring for one scenario; observers may attach
   between construction and ``start()``;
 * :func:`~repro.engine.engine.run_scenario` — build + run + result;
+* :class:`~repro.engine.batch.CellTemplate` /
+  :func:`~repro.engine.batch.run_cell_batched` — multi-seed cell
+  execution with the seed-independent bindings built once;
 * :data:`IncompleteRunError` — re-exported liveness failure.
 
 See ARCHITECTURE.md for the layer diagram and determinism rules.
 """
 
+from repro.engine.batch import CellTemplate, run_cell_batched
 from repro.engine.engine import Engine, run_scenario
 from repro.workload.runner import IncompleteRunError
 
-__all__ = ["Engine", "IncompleteRunError", "run_scenario"]
+__all__ = [
+    "CellTemplate",
+    "Engine",
+    "IncompleteRunError",
+    "run_cell_batched",
+    "run_scenario",
+]

@@ -77,7 +77,7 @@ __all__ = [
 #: test suite makes loud) MUST bump this, or stale cells from the old
 #: behavior would be served as if freshly computed.  Schema changes
 #: are covered separately by :data:`repro.metrics.io.FORMAT_VERSION`.
-RESULTS_EPOCH = 1
+RESULTS_EPOCH = 2
 
 
 class UnrepresentableScenarioError(ValueError):
@@ -407,8 +407,52 @@ class CellSpec:
         ).normalized()
 
 
+#: process-pinned warm templates: seed-zeroed normalized spec ->
+#: CellTemplate.  Campaign workers run many cells that differ only in
+#: seed (and x-value), so the seed-independent bindings are resolved
+#: once per (algorithm, N, workload, delay, cs_time, kwargs) family
+#: and reused across task boundaries.  Insertion-ordered dict doubles
+#: as the LRU ledger; bounded so a worker cycling through a huge grid
+#: cannot hoard templates.
+_WARM_TEMPLATES: Dict[object, object] = {}
+_WARM_TEMPLATES_CAP = 16
+
+
+def _warm_cells_enabled() -> bool:
+    """``REPRO_WARM_CELLS=0`` disables warm-template reuse (escape
+    hatch: always build every binding fresh per cell)."""
+    return os.environ.get("REPRO_WARM_CELLS", "1") != "0"
+
+
+def _warm_template(spec: CellSpec):
+    """The warm :class:`~repro.engine.batch.CellTemplate` for
+    ``spec``'s seed-independent family (building and caching it on
+    first use)."""
+    from repro.engine.batch import CellTemplate
+
+    key = replace(spec.normalized(), seed=0)
+    template = _WARM_TEMPLATES.get(key)
+    if template is None:
+        template = CellTemplate(spec)
+        if len(_WARM_TEMPLATES) >= _WARM_TEMPLATES_CAP:
+            # Drop the least recently used entry (front of the dict).
+            _WARM_TEMPLATES.pop(next(iter(_WARM_TEMPLATES)))
+        _WARM_TEMPLATES[key] = template
+    else:
+        # Refresh LRU position.
+        _WARM_TEMPLATES.pop(key)
+        _WARM_TEMPLATES[key] = template
+    return template
+
+
 def _run_cell(spec: CellSpec) -> RunResult:
-    # One construction path for every pipeline: the unified engine.
+    # One construction path for every pipeline: the unified engine —
+    # reached through the process-pinned warm template so consecutive
+    # cells of one family skip the repeated spec/binding resolution.
+    # Bit-for-bit identical to a fresh build (the batched-equivalence
+    # suite pins it); REPRO_WARM_CELLS=0 restores the cold path.
+    if _warm_cells_enabled():
+        return _warm_template(spec).run(spec.seed)
     from repro.engine import run_scenario
 
     return run_scenario(spec.build_scenario())

@@ -4,6 +4,11 @@ Experiments repeat each scenario across seeds; this module reduces a
 list of per-run values to a :class:`Summary` with a normal-theory
 95% confidence interval (scipy's t-quantile when available, 1.96
 otherwise — at our repeat counts the difference is cosmetic).
+
+numpy is optional (the ``repro[analysis]`` extra): mean/std over a
+few dozen repeats need no vectorisation, so a stdlib fallback keeps
+the core install dependency-free with equivalent results (same
+ddof=1 estimator; any difference is last-bit float rounding).
 """
 
 from __future__ import annotations
@@ -12,7 +17,10 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    np = None
 
 __all__ = ["Summary", "summarize"]
 
@@ -47,14 +55,24 @@ def _t_quantile(df: int) -> float:
         return 1.96
 
 
+def _mean_std(clean: List[float]) -> tuple:
+    """Sample mean and ddof=1 std — numpy when present, stdlib
+    otherwise (``statistics.stdev`` is the same ddof=1 estimator)."""
+    if np is not None:
+        arr = np.asarray(clean, dtype=float)
+        return float(arr.mean()), float(arr.std(ddof=1))
+    import statistics
+
+    return statistics.fmean(clean), statistics.stdev(clean)
+
+
 def summarize(values: Sequence[float] | Iterable[float]) -> Summary:
     """Reduce values to mean/std/95% CI, ignoring NaNs."""
-    arr = np.asarray([v for v in values if not math.isnan(v)], dtype=float)
-    if arr.size == 0:
+    clean = [float(v) for v in values if not math.isnan(v)]
+    if not clean:
         return Summary(n=0, mean=float("nan"), std=float("nan"), ci95=float("nan"))
-    mean = float(arr.mean())
-    if arr.size == 1:
-        return Summary(n=1, mean=mean, std=0.0, ci95=0.0)
-    std = float(arr.std(ddof=1))
-    ci = _t_quantile(arr.size - 1) * std / math.sqrt(arr.size)
-    return Summary(n=int(arr.size), mean=mean, std=std, ci95=float(ci))
+    if len(clean) == 1:
+        return Summary(n=1, mean=clean[0], std=0.0, ci95=0.0)
+    mean, std = _mean_std(clean)
+    ci = _t_quantile(len(clean) - 1) * std / math.sqrt(len(clean))
+    return Summary(n=len(clean), mean=mean, std=std, ci95=float(ci))

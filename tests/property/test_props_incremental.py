@@ -162,7 +162,7 @@ def test_adopted_rows_shared_until_mutated(msg):
     exchange(si, msg, on_inconsistency="count")
     assert si_state(msg) == before
     # Mutating the receiver afterwards must not leak into the message.
-    si.own_row(0).append_unique(ReqTuple(0, 99))
+    si.own_row(0).mnl = [ReqTuple(0, 99)]
     for t in list(si.nonl):
         si.remove_everywhere(t)
     assert si_state(msg) == before

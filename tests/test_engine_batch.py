@@ -1,0 +1,108 @@
+"""Seed-independence of the batched cell path.
+
+:class:`~repro.engine.batch.CellTemplate` shares the seed-independent
+bindings (delay model, cs-time distribution, normalized spec) across
+every seed of a cell, and the warm campaign workers keep templates
+alive across task boundaries.  That is only sound if **no state leaks
+between runs**: a batched run must be bit-for-bit identical to a
+fresh ``run_scenario`` of the same (spec, seed), regardless of how
+many other seeds the template ran before, in what order, and whether
+the worker-level template registry was involved.  These tests pin
+exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import CellTemplate, run_cell_batched
+from repro.experiments.parallel import (
+    _WARM_TEMPLATES,
+    CellSpec,
+    _run_cell,
+)
+from repro.metrics.io import result_to_dict
+
+SEEDS = (0, 1, 2)
+
+BURST_SPEC = CellSpec(
+    algorithm="rcv", n_nodes=12, seed=0, workload=("burst", 2)
+)
+POISSON_SPEC = CellSpec(
+    algorithm="rcv",
+    n_nodes=8,
+    seed=0,
+    workload=("poisson", 40.0, 300.0),
+    delay=("uniform", 1.0, 9.0),
+    cs_time=("exponential", 8.0, 0.5),
+)
+
+
+def _fresh(spec, seed):
+    from repro.workload.runner import run_scenario
+
+    return run_scenario(replace(spec, seed=seed).build_scenario())
+
+
+@pytest.mark.parametrize(
+    "spec", [BURST_SPEC, POISSON_SPEC], ids=["burst", "poisson"]
+)
+def test_batched_equals_fresh_per_seed(spec):
+    """One template across many seeds == a fresh engine per seed."""
+    batched = run_cell_batched(spec, SEEDS)
+    fresh = [_fresh(spec, seed) for seed in SEEDS]
+    assert [result_to_dict(a) for a in batched] == [
+        result_to_dict(b) for b in fresh
+    ]
+
+
+@pytest.mark.parametrize(
+    "spec", [BURST_SPEC, POISSON_SPEC], ids=["burst", "poisson"]
+)
+def test_batched_is_order_independent(spec):
+    """Earlier seeds must not contaminate later ones: running the
+    seeds reversed, or one at a time through a reused template,
+    yields the same per-seed results."""
+    forward = run_cell_batched(spec, SEEDS)
+    backward = run_cell_batched(spec, tuple(reversed(SEEDS)))
+    assert [result_to_dict(r) for r in forward] == [
+        result_to_dict(r) for r in reversed(backward)
+    ]
+
+    template = CellTemplate(spec)
+    one_at_a_time = [
+        run_cell_batched(spec, (seed,), template=template)[0]
+        for seed in SEEDS
+    ]
+    assert [result_to_dict(r) for r in one_at_a_time] == [
+        result_to_dict(r) for r in forward
+    ]
+
+
+def test_template_key_ignores_seed():
+    """Cells differing only in seed share one template identity."""
+    keys = {CellTemplate(replace(BURST_SPEC, seed=s)).key for s in SEEDS}
+    assert len(keys) == 1
+    # ...and it is the normalized spec: bare-number cs_time/delay
+    # collapse to their constant-spec tuples.
+    assert next(iter(keys)) == BURST_SPEC.normalized()
+
+
+def test_warm_worker_equals_cold_worker(monkeypatch):
+    """The campaign worker's warm-template path returns exactly what
+    the cold build-everything-per-cell path returns."""
+    specs = [replace(BURST_SPEC, seed=seed) for seed in SEEDS]
+
+    monkeypatch.setenv("REPRO_WARM_CELLS", "0")
+    cold = [result_to_dict(_run_cell(spec)) for spec in specs]
+
+    monkeypatch.setenv("REPRO_WARM_CELLS", "1")
+    _WARM_TEMPLATES.clear()
+    warm = [result_to_dict(_run_cell(spec)) for spec in specs]
+    assert len(_WARM_TEMPLATES) == 1  # one family -> one warm template
+    # a second pass reuses the (now maximally warm) template
+    rewarm = [result_to_dict(_run_cell(spec)) for spec in specs]
+
+    assert cold == warm == rewarm

@@ -140,3 +140,19 @@ def test_summarize_single_and_empty():
 
 def test_summary_str_format():
     assert str(Summary(n=3, mean=2.0, std=0.5, ci95=0.25)) == "2.00±0.25"
+
+
+def test_summarize_without_numpy(monkeypatch):
+    """numpy is an optional extra: the stdlib fallback must agree
+    with the numpy path to float precision."""
+    from repro.metrics import summary as summary_mod
+
+    values = [1.0, float("nan"), 3.5, 2.25, 9.0, 4.75]
+    with_numpy = summarize(values)
+    monkeypatch.setattr(summary_mod, "np", None)
+    fallback = summarize(values)
+    assert fallback.n == with_numpy.n
+    assert fallback.mean == pytest.approx(with_numpy.mean, rel=1e-12)
+    assert fallback.std == pytest.approx(with_numpy.std, rel=1e-12)
+    assert fallback.ci95 == pytest.approx(with_numpy.ci95, rel=1e-12)
+    assert summarize([]).n == 0 and summarize([7.0]).ci95 == 0.0

@@ -64,11 +64,19 @@ def test_check_system_catches_lemma7_violation():
         check_system(h.nodes)
 
 
-def test_check_system_catches_lemma1_violation():
+def test_lemma1_violation_unrepresentable():
+    """The columnar {node: ts} row storage makes a Lemma 1 violation
+    (two tuples of one node in an MNL) structurally unrepresentable:
+    both the wholesale setter and the incremental append reject it
+    loudly instead of letting ``check_system`` find it later."""
     h = _world()
-    h.nodes[0].si.rows[2].mnl = [T(1, 1), T(1, 3)]
-    with pytest.raises(ProtocolInvariantError, match="Lemma 1"):
-        check_system(h.nodes)
+    with pytest.raises(ValueError, match="Lemma 1"):
+        h.nodes[0].si.rows[2].mnl = [T(1, 1), T(1, 3)]
+    row = h.nodes[0].si.own_row(2)
+    row.mnl = [T(1, 1)]
+    with pytest.raises(ValueError, match="Lemma 1"):
+        row.append_unique(T(1, 3))
+    check_system(h.nodes)  # the built system itself stays clean
 
 
 # ----------------------------------------------------------------------
