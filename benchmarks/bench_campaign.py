@@ -33,9 +33,19 @@ unit everything above is built from: per-cell seconds at N in
 {50, 100, 200}, fresh-engine vs warm :class:`CellTemplate` path, and
 the N=200 speedup over the seed tree (``test_per_cell_n200_beats_seed``
 guards the >=2x floor).
+
+The ``faults`` section runs the canonical fault grid (drop/dup/
+reorder intensities, a halving partition, a crash — see
+``repro.experiments.figures.fault_grid``) at N in {50, 100, 200} for
+RCV vs Maekawa and records NME, mean sync delay, and completion rate
+per point.  ``test_campaign_fault_smoke`` is its CI twin: a tiny
+campaign with one clean, one dup, one heavy-drop, and one
+crash-at-t=0 cell — the lossy pair strands, burns its retry budget,
+and is quarantined while the clean results stay untouched.
 """
 
 import json
+import math
 import multiprocessing
 import os
 import subprocess
@@ -47,8 +57,11 @@ from pathlib import Path
 from repro.experiments import (
     CellCache,
     CellServer,
+    CellSpec,
     ServiceBackend,
     SQLiteBackend,
+    fault_grid,
+    fault_sweep,
     scale_campaign,
 )
 from repro.metrics.io import result_to_dict
@@ -477,6 +490,113 @@ def _per_cell_section():
 
 
 # ----------------------------------------------------------------------
+# CI smoke: a faulty campaign quarantines its liveness-losing cells
+# ----------------------------------------------------------------------
+def test_campaign_fault_smoke(tmp_path=None):
+    """A campaign mixing clean, liveness-preserving, and
+    liveness-losing fault cells: the strict require-completion default
+    turns stranded runs into failures, the retry budget is spent (the
+    failure is deterministic), the cells land in quarantine, and the
+    clean cells are completely unaffected (see docs/faults.md)."""
+    from repro.experiments import Campaign
+    from repro.workload.runner import run_scenario
+
+    root = tmp_path or Path(tempfile.mkdtemp(prefix="campaign-faults-"))
+    clean = CellSpec("rcv", 6, 0, ("burst", 1))
+    dup = CellSpec("rcv", 6, 0, ("burst", 1), faults=(("dup", 0.3),))
+    heavy_drop = CellSpec(
+        "rcv", 6, 0, ("burst", 1), faults=(("drop", 0.9),)
+    )
+    crash = CellSpec(
+        "rcv", 6, 0, ("burst", 1), faults=(("crash", ((0, 0.0),)),)
+    )
+    campaign = Campaign(name="fault-smoke")
+    campaign.cells.extend([clean, dup, heavy_drop, crash])
+
+    cache = CellCache(backend=SQLiteBackend(root / "cells.sqlite"))
+    result = campaign.run(
+        max_workers=1,
+        cache=cache,
+        steal=True,
+        owner="worker-1",
+        steal_timeout=120.0,
+    )
+
+    # Clean and dup (no information lost) completed; the lossy cells
+    # stranded deterministically on every retry and were quarantined
+    # instead of hanging the campaign.
+    assert not result.complete
+    assert [r is not None for r in result.results] == [
+        True, True, False, False,
+    ]
+    assert sorted(result.quarantined) == [2, 3]
+    for index in (2, 3):
+        record = result.quarantined[index]
+        assert record["count"] == 3  # the whole failure budget
+        assert "liveness" in record["failures"][-1]["error"]
+
+    # The clean cell's payload is exactly the no-campaign reference.
+    assert result_to_dict(result.results[0]) == result_to_dict(
+        run_scenario(clean.build_scenario())
+    )
+
+
+# ----------------------------------------------------------------------
+# resilience grid: NME / sync delay / completion vs fault intensity
+# ----------------------------------------------------------------------
+_FAULT_N_VALUES = (50, 100, 200)
+_FAULT_SEEDS = (0,)
+
+
+def _round_or_none(value, digits=3):
+    """NaN-safe rounding: stranded runs have no completed CS, so NME
+    and sync delay are NaN there — recorded as null in the report."""
+    if value != value or math.isinf(value):
+        return None
+    return round(value, digits)
+
+
+def _faults_section():
+    """The ``faults`` report block: the canonical fault grid (clean
+    baseline, two intensities each of drop/dup/reorder, a halving
+    partition, a crash) at N in {50, 100, 200}, RCV vs Maekawa —
+    messages per entry (NME), mean sync delay, and completion rate
+    per point.  Liveness loss shows up as completion < 1 and null
+    NME/sync, not as an error (``require_completion=False``)."""
+    start = time.perf_counter()
+    sweep = fault_sweep(_FAULT_N_VALUES, seeds=_FAULT_SEEDS)
+    secs = time.perf_counter() - start
+
+    section = {
+        "n_values": list(_FAULT_N_VALUES),
+        "seeds": list(_FAULT_SEEDS),
+        "grid": [label for label, _ in fault_grid(_FAULT_N_VALUES[0])],
+        "seconds": round(secs, 3),
+        "algorithms": {},
+    }
+    for algo, per_label in sweep.items():
+        rows = {}
+        for label, by_n in per_label.items():
+            rows[label] = {}
+            for n, runs in sorted(by_n.items()):
+                issued = sum(r.issued_count for r in runs)
+                completed = sum(r.completed_count for r in runs)
+                rows[label][str(n)] = {
+                    "nme": _round_or_none(
+                        sum(r.nme for r in runs) / len(runs)
+                    ),
+                    "sync_delay": _round_or_none(
+                        sum(r.mean_sync_delay for r in runs) / len(runs)
+                    ),
+                    "completion_rate": round(
+                        completed / issued, 3
+                    ) if issued else None,
+                }
+        section["algorithms"][algo] = rows
+    return section
+
+
+# ----------------------------------------------------------------------
 # BENCH_campaign.json report
 # ----------------------------------------------------------------------
 def _timed_run(campaign, **kwargs):
@@ -527,6 +647,8 @@ def build_report(n_values=(100, 200), seeds=(0,)):
         # the fast unit of everything: one cell's cost, tracked
         # first-class so the perf trajectory is visible across PRs
         "per_cell": _per_cell_section(),
+        # resilience: the same cells under the canonical fault grid
+        "faults": _faults_section(),
         "fresh": {
             "seconds": round(fresh_secs, 3),
             "cells_per_sec": round(len(campaign.cells) / fresh_secs, 3),

@@ -107,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="cs-time: constant:V | uniform:LO:HI | exponential:MEAN:MIN",
     )
     camp.add_argument(
+        "--fault-spec",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "adversarial-network fault, repeatable and composable: "
+            "drop:P | dup:P | reorder:WINDOW | "
+            "partition:T_CUT:T_HEAL:K (first K nodes vs the rest, "
+            "resolved per N) | crash:NODE:T. Cells that lose liveness "
+            "under faults are retried then quarantined — see "
+            "docs/faults.md"
+        ),
+    )
+    camp.add_argument(
         "--out",
         metavar="DIR",
         default="campaign-out",
@@ -396,6 +410,94 @@ def _parse_spec(text: str, what: str):
     return spec
 
 
+def _parse_fault_specs(texts, n_values):
+    """Parse repeatable ``--fault-spec`` flags into a fault spec.
+
+    Message-level faults (``drop:P``, ``dup:P``, ``reorder:W``) are
+    N-independent; ``partition:T_CUT:T_HEAL:K`` names "the first K
+    nodes vs the rest", which resolves to different node groups at
+    each N of the sweep — so the result is a ``faults(n)`` callable
+    (see :meth:`repro.experiments.campaign.Campaign.add_sweep`).
+    Every N in the sweep is validated eagerly, so a bad spec dies
+    with a one-line message before any work starts.
+    """
+    if not texts:
+        return ()
+    grammar = (
+        "drop:P | dup:P | reorder:WINDOW | partition:T_CUT:T_HEAL:K "
+        "| crash:NODE:T"
+    )
+    scalars = {}
+    partitions = []
+    crashes = []
+    for text in texts:
+        parts = text.split(":")
+        kind, params = parts[0], parts[1:]
+        try:
+            nums = [float(p) for p in params]
+        except ValueError:
+            raise SystemExit(
+                f"malformed --fault-spec {text!r} (want {grammar})"
+            )
+        if kind in ("drop", "dup", "reorder"):
+            if len(nums) != 1:
+                raise SystemExit(
+                    f"--fault-spec {text!r}: {kind} wants one number"
+                )
+            if kind in scalars:
+                raise SystemExit(
+                    f"--fault-spec {kind} given twice; compose one flag "
+                    "per kind"
+                )
+            scalars[kind] = nums[0]
+        elif kind == "partition":
+            if len(nums) != 3:
+                raise SystemExit(
+                    f"--fault-spec {text!r}: want partition:T_CUT:T_HEAL:K"
+                )
+            partitions.append((nums[0], nums[1], int(nums[2])))
+        elif kind == "crash":
+            if len(nums) != 2:
+                raise SystemExit(
+                    f"--fault-spec {text!r}: want crash:NODE:T"
+                )
+            crashes.append((int(nums[0]), nums[1]))
+        else:
+            raise SystemExit(
+                f"unknown --fault-spec kind {kind!r} (want {grammar})"
+            )
+
+    def faults_for(n):
+        spec = []
+        for kind in ("drop", "dup", "reorder"):
+            if kind in scalars:
+                spec.append((kind, scalars[kind]))
+        if partitions:
+            windows = []
+            for t_cut, t_heal, k in partitions:
+                if not (0 < k < n):
+                    raise ValueError(
+                        f"partition K={k} does not split N={n} "
+                        "(want 0 < K < N)"
+                    )
+                windows.append(
+                    (t_cut, t_heal, tuple(range(k)), tuple(range(k, n)))
+                )
+            spec.append(("partition", tuple(windows)))
+        if crashes:
+            spec.append(("crash", tuple(crashes)))
+        return tuple(spec)
+
+    from repro.experiments.parallel import normalize_fault_spec
+
+    for n in n_values:
+        try:
+            normalize_fault_spec(faults_for(n), n)
+        except ValueError as exc:
+            raise SystemExit(f"bad --fault-spec at N={n}: {exc}")
+    return faults_for
+
+
 def _parse_shard(text):
     if text is None:
         return None
@@ -426,6 +528,7 @@ def _cmd_campaign(args) -> int:
         requests_per_node=args.requests_per_node,
         cs_time=_parse_spec(args.cs_spec, "cs_time"),
         delay=_parse_spec(args.delay_spec, "delay"),
+        faults=_parse_fault_specs(args.fault_spec, n_values),
     )
     shard = _parse_shard(args.shard)
     out = Path(args.out)
@@ -490,7 +593,13 @@ def _cmd_campaign(args) -> int:
             "bench": (
                 "repro.cli campaign — scale sweep wall clock "
                 f"(algorithms {list(args.algorithms)}, N {list(n_values)}, "
-                f"{args.seeds} seeds, burst x{args.requests_per_node})"
+                f"{args.seeds} seeds, burst x{args.requests_per_node}"
+                + (
+                    f", faults {args.fault_spec}"
+                    if args.fault_spec
+                    else ""
+                )
+                + ")"
             ),
             "cells": len(campaign.cells),
             "cache_hits": cache.hits,

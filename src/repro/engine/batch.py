@@ -107,6 +107,12 @@ class CellTemplate:
             issue_deadline=issue_deadline,
             drain_deadline=drain_deadline,
             algo_kwargs=dict(self.algo_kwargs),
+            # Fault specs are normalized pure data (the engine builds
+            # per-run FaultPlan/FaultyChannel state from them), and the
+            # template key is the normalized spec *including* faults —
+            # so warm reuse can never leak a fault schedule into a
+            # different cell family.
+            faults=self.spec.faults,
         )
 
     def run(self, seed: int, *, require_completion: bool = True) -> RunResult:

@@ -33,6 +33,8 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.records import RunResult
 from repro.metrics.safety import SafetyMonitor
 from repro.mutex.base import Hooks, SimEnv
+from repro.net.channels import RawChannel
+from repro.net.faults import FaultPlan, FaultyChannel
 from repro.net.network import Network
 from repro.registry import get_algorithm
 from repro.sim.kernel import Simulator
@@ -52,10 +54,27 @@ class Engine:
         self.scenario = scenario
         self.sim = Simulator(max_events=scenario.max_events)
         self.rngs = RngRegistry(scenario.seed)
+        # Fault fabric: drop/dup/reorder wrap the channel discipline
+        # (their own named stream, so delay/workload draws — and hence
+        # clean runs — are untouched); partition/crash schedules are
+        # injected as kernel events in start().  A spec that
+        # normalizes to clean builds the exact pre-fault stack.
+        self._fault_plan = FaultPlan.from_spec(
+            scenario.faults, n_nodes=scenario.n_nodes
+        )
+        channel = scenario.channel
+        self.fault_channel: Optional[FaultyChannel] = None
+        if self._fault_plan is not None and self._fault_plan.channel_faults:
+            self.fault_channel = FaultyChannel(
+                channel or RawChannel(),
+                self._fault_plan,
+                self.rngs.stream("net/faults"),
+            )
+            channel = self.fault_channel
         self.network = Network(
             self.sim,
             delay_model=scenario.delay_model,
-            channel=scenario.channel,
+            channel=channel,
             rng=self.rngs.stream("net/delay"),
         )
         self.hooks = Hooks()
@@ -97,14 +116,57 @@ class Engine:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start nodes then drivers.  Idempotent."""
+        """Start nodes then drivers.  Idempotent.
+
+        Fault schedules (partition cut/heal windows, crash instants)
+        are enqueued first: pure data, no randomness, and clean runs
+        enqueue nothing — so their kernel ``seq`` numbers are exactly
+        those of a pre-fault build.
+        """
         if self._started:
             return
         self._started = True
+        self._schedule_faults()
         for node in self.nodes:
             node.start()
         for driver in self.drivers:
             driver.start()
+
+    def _schedule_faults(self) -> None:
+        plan = self._fault_plan
+        if plan is None or not plan.scheduled_faults:
+            return
+        network = self.network
+
+        def _cut(a, b) -> None:
+            for x in a:
+                for y in b:
+                    network.partition(x, y)
+
+        def _heal(a, b) -> None:
+            for x in a:
+                for y in b:
+                    network.heal(x, y)
+
+        for t_cut, t_heal, group_a, group_b in plan.partitions:
+            # start() runs at t=0, so a relative delay IS the
+            # absolute fault time.
+            self.sim.schedule(
+                t_cut,
+                lambda a=group_a, b=group_b: _cut(a, b),
+                label="fault:partition",
+            )
+            self.sim.schedule(
+                t_heal,
+                lambda a=group_a, b=group_b: _heal(a, b),
+                label="fault:heal",
+            )
+        for node_id, t in plan.crashes:
+            self.sim.schedule(
+                t,
+                lambda n=node_id: network.fail_node(n),
+                label="fault:crash",
+            )
 
     def run(self, *, require_completion: bool = True) -> RunResult:
         """Execute the scenario to its end and return the result.
@@ -139,6 +201,11 @@ class Engine:
                 continue
             for key, value in snap().items():
                 extra[key] = extra.get(key, 0) + value
+        if self.fault_channel is not None:
+            # Only fault runs carry these keys — clean results stay
+            # bit-for-bit identical to pre-fault builds.
+            extra["net_fault_drops"] = self.fault_channel.dropped
+            extra["net_fault_dups"] = self.fault_channel.duplicated
         return self.collector.finalize(
             algorithm=self.scenario.algorithm,
             n_nodes=self.scenario.n_nodes,

@@ -34,6 +34,8 @@ from repro.experiments.service import CellServer
 from repro.experiments.figures import (
     FigureData,
     burst_sweep,
+    fault_grid,
+    fault_sweep,
     figure4,
     figure5,
     figure6,
@@ -45,6 +47,7 @@ from repro.experiments.parallel import (
     CellSpec,
     ProgressReporter,
     UnrepresentableScenarioError,
+    normalize_fault_spec,
     parallel_burst_sweep,
     parallel_lambda_sweep,
     run_cells,
@@ -71,12 +74,15 @@ __all__ = [
     "ProgressReporter",
     "UnrepresentableScenarioError",
     "burst_sweep",
+    "fault_grid",
+    "fault_sweep",
     "figure4",
     "figure5",
     "figure6",
     "figure7",
     "comparison_campaign",
     "lambda_sweep",
+    "normalize_fault_spec",
     "parallel_burst_sweep",
     "parallel_lambda_sweep",
     "render_chart",

@@ -58,6 +58,7 @@ def _spec_to_jsonable(spec) -> dict:
         "cs_time": list(spec.cs_time),
         "delay": list(spec.delay),
         "algo_kwargs": repr(spec.algo_kwargs),
+        "faults": repr(spec.faults),
     }
 
 

@@ -31,6 +31,8 @@ from repro.workload.scenario import Scenario, constant_cs_time
 __all__ = [
     "FigureData",
     "burst_sweep",
+    "fault_grid",
+    "fault_sweep",
     "figure4",
     "figure5",
     "figure6",
@@ -260,6 +262,77 @@ def figure7(
         x=[float(v) for v in inv_lambdas],
         series=_reduce(results, "mean_response_time"),
     )
+
+
+# ----------------------------------------------------------------------
+# adversarial-network sweep (fault fabric; docs/faults.md)
+# ----------------------------------------------------------------------
+def fault_grid(n: int) -> Tuple[Tuple[str, Tuple], ...]:
+    """The canonical fault points of the resilience figures.
+
+    ``(label, fault_spec)`` pairs for a scenario of ``n`` nodes: the
+    clean baseline, two intensities each of drop/dup/reorder, one
+    halving partition window over the burst, and one late-joiner
+    crash.  N-dependent shapes (partition groups, the crash target)
+    are resolved here, which is why this is a function of ``n``.
+    """
+    half = tuple(range(n // 2))
+    rest = tuple(range(n // 2, n))
+    return (
+        ("clean", ()),
+        ("drop-1%", (("drop", 0.01),)),
+        ("drop-4%", (("drop", 0.04),)),
+        ("dup-2%", (("dup", 0.02),)),
+        ("dup-10%", (("dup", 0.10),)),
+        ("reorder-5", (("reorder", 5.0),)),
+        ("reorder-25", (("reorder", 25.0),)),
+        ("partition-30-60", (("partition", ((30.0, 60.0, half, rest),)),)),
+        ("crash-last@20", (("crash", ((n - 1, 20.0),)),)),
+    )
+
+
+def fault_sweep(
+    n_values: Sequence[int],
+    algorithms: Sequence[str] = ("rcv", "maekawa"),
+    seeds: Sequence[int] = (0,),
+    *,
+    requests_per_node: int = 1,
+    grid: Callable[[int], Tuple] = fault_grid,
+) -> Dict[str, Dict[str, Dict[int, List[RunResult]]]]:
+    """Run the burst grid under each fault model; results[algo][label][n].
+
+    Cells run with ``require_completion=False``: losing liveness under
+    loss/partition/crash is a *measured outcome* here (the completion
+    rate quantifies it), not an error — campaign runs of the same
+    cells keep the strict default and quarantine instead (see
+    docs/faults.md).  Each (algo, n, fault) family goes through the
+    warm :class:`~repro.engine.batch.CellTemplate` path, so this
+    sweep also exercises batched fault runs end to end.
+    """
+    from repro.engine.batch import CellTemplate
+    from repro.experiments.parallel import CellSpec
+
+    out: Dict[str, Dict[str, Dict[int, List[RunResult]]]] = {}
+    for algo in algorithms:
+        per_label: Dict[str, Dict[int, List[RunResult]]] = {}
+        for n in n_values:
+            for label, faults in grid(n):
+                template = CellTemplate(
+                    CellSpec(
+                        algorithm=algo,
+                        n_nodes=n,
+                        seed=0,
+                        workload=("burst", int(requests_per_node)),
+                        faults=faults,
+                    )
+                )
+                runs = [
+                    template.run(seed, require_completion=False)
+                    for seed in seeds
+                ]
+                per_label.setdefault(label, {})[n] = runs
+        out[algo] = per_label
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -65,6 +65,7 @@ __all__ = [
     "delay_model_spec",
     "normalize_cs_time_spec",
     "normalize_delay_spec",
+    "normalize_fault_spec",
     "run_cells",
     "parallel_burst_sweep",
     "parallel_lambda_sweep",
@@ -134,6 +135,26 @@ def normalize_delay_spec(spec) -> Tuple:
 def normalize_cs_time_spec(spec) -> Tuple:
     """Canonical cs-time spec tuple, or :class:`UnrepresentableScenarioError`."""
     return _normalize_spec(spec, _CS_KINDS, "cs_time")
+
+
+def normalize_fault_spec(faults, n_nodes: Optional[int] = None) -> Tuple:
+    """Canonical fault-spec tuple, or :class:`UnrepresentableScenarioError`.
+
+    The grammar itself lives with the fabric
+    (:func:`repro.net.faults.normalize_faults`); this wrapper maps its
+    :class:`ValueError` onto the campaign layer's typed guard so an
+    unknown fault kind — like an unknown delay or cs-time kind — can
+    never silently run a different experiment.  With ``n_nodes``,
+    partition groups and crash targets are range-checked too.
+    """
+    from repro.net.faults import normalize_faults
+
+    try:
+        return normalize_faults(faults, n_nodes=n_nodes)
+    except UnrepresentableScenarioError:
+        raise
+    except ValueError as exc:
+        raise UnrepresentableScenarioError(str(exc)) from None
 
 
 def build_delay_model(spec):
@@ -262,6 +283,13 @@ class CellSpec:
     ``("jittered", base, jitter)``.  ``algo_kwargs`` must itself be
     picklable and hashable (dict items tuple; RCVConfig is a frozen
     dataclass — fine).
+
+    ``faults`` is an adversarial-network spec per the grammar in
+    :mod:`repro.net.faults` — a tuple of fault tuples such as
+    ``(("drop", 0.02), ("reorder", 10.0))``; ``()`` is the clean
+    fabric.  The normalized faults participate in :meth:`cache_key`,
+    so a faulty cell and its clean twin can never alias in any cache
+    backend.
     """
 
     algorithm: str
@@ -271,6 +299,7 @@ class CellSpec:
     cs_time: Union[float, Tuple] = 10.0
     delay: Union[float, Tuple] = 5.0
     algo_kwargs: tuple = field(default=())  # dict items, hashable form
+    faults: Tuple = ()
 
     # ------------------------------------------------------------------
     def normalized(self) -> "CellSpec":
@@ -295,6 +324,7 @@ class CellSpec:
             cs_time=_normalize_spec(self.cs_time, _CS_KINDS, "cs_time"),
             delay=_normalize_spec(self.delay, _DELAY_KINDS, "delay"),
             algo_kwargs=tuple(sorted(self.algo_kwargs)),
+            faults=normalize_fault_spec(self.faults, self.n_nodes),
         )
 
     def cache_key(self) -> str:
@@ -324,6 +354,7 @@ class CellSpec:
                 spec.cs_time,
                 spec.delay,
                 spec.algo_kwargs,
+                spec.faults,
             )
         )
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
@@ -355,6 +386,7 @@ class CellSpec:
             issue_deadline=issue_deadline,
             drain_deadline=drain_deadline,
             algo_kwargs=dict(self.algo_kwargs),
+            faults=normalize_fault_spec(self.faults, self.n_nodes),
         )
 
     @classmethod
@@ -404,6 +436,7 @@ class CellSpec:
             cs_time=_cs_time_spec(scenario.cs_time),
             delay=delay_model_spec(scenario.delay_model),
             algo_kwargs=tuple(sorted(scenario.algo_kwargs.items())),
+            faults=scenario.faults,
         ).normalized()
 
 
@@ -839,6 +872,7 @@ def parallel_burst_sweep(
     cs_time: Union[float, Tuple] = 10.0,
     delay: Union[float, Tuple] = 5.0,
     algo_kwargs: tuple = (),
+    faults: Tuple = (),
     max_workers: Optional[int] = None,
     cache=None,
 ) -> Dict[str, Dict[int, List[RunResult]]]:
@@ -860,6 +894,7 @@ def parallel_burst_sweep(
             cs_time=cs_time,
             delay=delay,
             algo_kwargs=algo_kwargs,
+            faults=faults,
         )
         for a in algorithms
         for n in n_values
@@ -884,6 +919,7 @@ def parallel_lambda_sweep(
     cs_time: Union[float, Tuple] = 10.0,
     delay: Union[float, Tuple] = 5.0,
     algo_kwargs: tuple = (),
+    faults: Tuple = (),
     max_workers: Optional[int] = None,
     cache=None,
 ) -> Dict[str, Dict[float, List[RunResult]]]:
@@ -898,6 +934,7 @@ def parallel_lambda_sweep(
             cs_time=cs_time,
             delay=delay,
             algo_kwargs=algo_kwargs,
+            faults=faults,
         )
         for a in algorithms
         for v in inv_lambdas

@@ -14,12 +14,19 @@ the knobs to stress it:
 * :mod:`~repro.net.topology` — latency matrices from graph layouts
   (complete, ring, star, random geometric via networkx when
   available);
+* :mod:`~repro.net.faults` — the deterministic fault fabric:
+  normalized drop/dup/reorder/partition/crash fault specs
+  (:func:`~repro.net.faults.normalize_faults`), the seeded
+  :class:`~repro.net.faults.FaultyChannel`, and the
+  :class:`~repro.net.faults.FaultPlan` driving engine-scheduled
+  partition/crash events;
 * :mod:`~repro.net.network` — the delivery fabric binding a
   :class:`~repro.sim.kernel.Simulator` to a set of actors, with
   message accounting by type.
 """
 
 from repro.net.channels import ChannelDiscipline, FifoChannel, RawChannel
+from repro.net.faults import FaultPlan, FaultyChannel, normalize_faults
 from repro.net.delay import (
     ConstantDelay,
     DelayModel,
@@ -37,6 +44,8 @@ __all__ = [
     "ConstantDelay",
     "DelayModel",
     "ExponentialDelay",
+    "FaultPlan",
+    "FaultyChannel",
     "FifoChannel",
     "JitteredDelay",
     "LatencyMatrix",
@@ -45,6 +54,7 @@ __all__ = [
     "Network",
     "NetworkStats",
     "RawChannel",
+    "normalize_faults",
     "Topology",
     "UniformDelay",
 ]

@@ -40,6 +40,25 @@ class ChannelDiscipline(ABC):
     ) -> float:
         """Absolute simulated time at which the message is delivered."""
 
+    def delivery_times(
+        self,
+        src: int,
+        dst: int,
+        send_time: float,
+        delay_model: DelayModel,
+        rng: random.Random,
+    ) -> Tuple[float, ...]:
+        """Delivery timestamps for one send — usually exactly one.
+
+        Fault-injecting disciplines (see
+        :class:`~repro.net.faults.FaultyChannel`) override this to
+        return zero timestamps (message dropped) or two (message
+        duplicated).  The default delegates to
+        :meth:`delivery_time`, so well-behaved disciplines draw the
+        exact same RNG sequence either way.
+        """
+        return (self.delivery_time(src, dst, send_time, delay_model, rng),)
+
     def reset(self) -> None:
         """Clear any per-pair state between scenario runs."""
 

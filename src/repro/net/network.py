@@ -216,19 +216,25 @@ class Network:
                     delay, partial(self._fast_deliver, actor, src, message)
                 )
                 return
-        deliver_at = self.channel.delivery_time(
+        # A discipline may deliver a send zero times (fault-dropped),
+        # once (the normal case), or twice (fault-duplicated); taps
+        # observe each scheduled delivery, so dropped messages leave
+        # no tap record.
+        for deliver_at in self.channel.delivery_times(
             src, dst, self.sim.now, self.delay_model, self.rng
-        )
-        for tap in self._taps:
-            tap(src, dst, message, deliver_at)
+        ):
+            for tap in self._taps:
+                tap(src, dst, message, deliver_at)
 
-        def _deliver(actor=actor, src=src, message=message) -> None:
-            self.stats.delivered_total += 1
-            actor.deliver(src, message)
+            def _deliver(actor=actor, src=src, message=message) -> None:
+                self.stats.delivered_total += 1
+                actor.deliver(src, message)
 
-        self.sim.schedule_at(
-            deliver_at, _deliver, label=f"deliver:{message.kind}:{src}->{dst}"
-        )
+            self.sim.schedule_at(
+                deliver_at,
+                _deliver,
+                label=f"deliver:{message.kind}:{src}->{dst}",
+            )
 
     def _fast_deliver(self, actor: Actor, src: int, message: Message) -> None:
         self.stats.delivered_total += 1

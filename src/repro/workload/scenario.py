@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.net.channels import ChannelDiscipline
 from repro.net.delay import DelayModel
@@ -81,6 +81,12 @@ class Scenario:
     drain_deadline: Optional[float] = None
     max_events: int = 10_000_000
     algo_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: adversarial-network fault spec — a tuple of fault tuples per
+    #: the grammar in :mod:`repro.net.faults` (``("drop", p)``,
+    #: ``("dup", p)``, ``("reorder", window)``, partition/crash
+    #: schedules).  ``()`` (the default) is the clean fabric and
+    #: leaves the run bit-for-bit identical to pre-fault builds.
+    faults: Tuple = ()
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:

@@ -11,6 +11,7 @@ import json
 import os
 import subprocess
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -299,6 +300,29 @@ def test_peek_leaves_counters_alone(kind, tmp_path):
     cache.hits = cache.misses = 0
     assert result_to_dict(cache.peek(spec)) == result_to_dict(fresh)
     assert cache.hits == 0 and cache.misses == 0
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+def test_faulty_cell_never_aliases_its_clean_twin(kind, tmp_path):
+    """A fault spec is part of the cell's identity: a committed clean
+    result must never be served for the faulty twin (or vice versa),
+    on any backend — while a *no-op* fault spec IS the clean cell and
+    shares its entry."""
+    backend = make_backend(kind, tmp_path)
+    try:
+        cache = CellCache(backend=backend)
+        clean = _spec()
+        faulty = replace(clean, faults=(("drop", 0.05),))
+        assert clean.cache_key() != faulty.cache_key()
+        [fresh] = run_cells([clean], max_workers=1)
+        cache.put(clean, fresh)
+        assert cache.peek(faulty) is None
+        assert result_to_dict(cache.peek(clean)) == result_to_dict(fresh)
+        noop = replace(clean, faults=(("drop", 0.0), ("crash", ())))
+        assert noop.cache_key() == clean.cache_key()
+        assert result_to_dict(cache.peek(noop)) == result_to_dict(fresh)
+    finally:
+        close_backend(backend)
 
 
 def test_path_for_requires_a_directory_backend(tmp_path):

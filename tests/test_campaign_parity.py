@@ -417,6 +417,37 @@ def test_unknown_spec_kinds_raise():
         CellSpec("rcv", 3, 0, ("burst", 1), delay=("bogus", 1.0)).normalized()
     with pytest.raises(UnrepresentableScenarioError):
         CellSpec("rcv", 3, 0, ("burst", 1), cs_time=("jittered", 1.0, 2.0)).normalized()
+    with pytest.raises(UnrepresentableScenarioError):
+        CellSpec(
+            "rcv", 3, 0, ("burst", 1), faults=(("cosmic-ray", 0.5),)
+        ).normalized()
+
+
+def test_faulty_cells_run_identically_across_paths(tmp_path):
+    """The full parity bar holds for faulty cells too: sequential
+    reference == run_cells (sequential and pooled) == cache round
+    trip.  Dup/reorder faults lose no information, so the default
+    require-completion contract still applies."""
+    specs = [
+        CellSpec(
+            "rcv",
+            5,
+            seed,
+            ("burst", 2),
+            faults=(("dup", 0.2), ("reorder", 5.0)),
+        )
+        for seed in (0, 1)
+    ]
+    reference = _dicts(
+        run_scenario(spec.build_scenario()) for spec in specs
+    )
+    assert _dicts(run_cells(specs, max_workers=1)) == reference
+    assert _dicts(run_cells(specs, max_workers=2)) == reference
+    cache = CellCache(tmp_path / "cells")
+    assert _dicts(run_cells(specs, max_workers=1, cache=cache)) == reference
+    cache.hits = cache.misses = 0
+    assert _dicts(run_cells(specs, max_workers=1, cache=cache)) == reference
+    assert cache.hits == len(specs) and cache.misses == 0
 
 
 def test_nonconventional_deadlines_and_max_events_raise():

@@ -38,6 +38,11 @@ POISSON_SPEC = CellSpec(
     delay=("uniform", 1.0, 9.0),
     cs_time=("exponential", 8.0, 0.5),
 )
+# Liveness-preserving faults (dup/reorder lose no information), so
+# the strict require_completion default still holds per seed.
+FAULTY_SPEC = replace(
+    BURST_SPEC, faults=(("dup", 0.15), ("reorder", 6.0))
+)
 
 
 def _fresh(spec, seed):
@@ -47,7 +52,9 @@ def _fresh(spec, seed):
 
 
 @pytest.mark.parametrize(
-    "spec", [BURST_SPEC, POISSON_SPEC], ids=["burst", "poisson"]
+    "spec",
+    [BURST_SPEC, POISSON_SPEC, FAULTY_SPEC],
+    ids=["burst", "poisson", "faulty"],
 )
 def test_batched_equals_fresh_per_seed(spec):
     """One template across many seeds == a fresh engine per seed."""
@@ -59,7 +66,9 @@ def test_batched_equals_fresh_per_seed(spec):
 
 
 @pytest.mark.parametrize(
-    "spec", [BURST_SPEC, POISSON_SPEC], ids=["burst", "poisson"]
+    "spec",
+    [BURST_SPEC, POISSON_SPEC, FAULTY_SPEC],
+    ids=["burst", "poisson", "faulty"],
 )
 def test_batched_is_order_independent(spec):
     """Earlier seeds must not contaminate later ones: running the
@@ -88,6 +97,39 @@ def test_template_key_ignores_seed():
     # ...and it is the normalized spec: bare-number cs_time/delay
     # collapse to their constant-spec tuples.
     assert next(iter(keys)) == BURST_SPEC.normalized()
+
+
+def test_template_key_separates_fault_families():
+    """A faulty cell and its clean twin are different template
+    families — warm reuse must never serve one for the other."""
+    assert CellTemplate(FAULTY_SPEC).key != CellTemplate(BURST_SPEC).key
+    # ...but a no-op fault spec IS the clean family.
+    noop = replace(BURST_SPEC, faults=(("drop", 0.0),))
+    assert CellTemplate(noop).key == CellTemplate(BURST_SPEC).key
+
+
+def test_warm_templates_do_not_leak_fault_schedules(monkeypatch):
+    """Interleaving a fault family with its clean twin through the
+    process-pinned warm registry keeps both bit-for-bit identical to
+    fresh builds — the LRU must key on the faults field."""
+    monkeypatch.setenv("REPRO_WARM_CELLS", "1")
+    _WARM_TEMPLATES.clear()
+    interleaved = {}
+    for seed in SEEDS:
+        for spec in (FAULTY_SPEC, BURST_SPEC):
+            interleaved[(spec.faults, seed)] = result_to_dict(
+                _run_cell(replace(spec, seed=seed))
+            )
+    assert len(_WARM_TEMPLATES) == 2  # two families, two templates
+    for seed in SEEDS:
+        for spec in (FAULTY_SPEC, BURST_SPEC):
+            assert interleaved[(spec.faults, seed)] == result_to_dict(
+                _fresh(spec, seed)
+            )
+    # The fault runs really injected faults (and the clean ones
+    # really did not).
+    for (faults, _seed), doc in interleaved.items():
+        assert ("net_fault_dups" in doc["extra"]) == bool(faults)
 
 
 def test_warm_worker_equals_cold_worker(monkeypatch):

@@ -109,6 +109,33 @@ def test_partition_drops_and_heal_restores(world):
     assert len(actors[1].received) == 1
 
 
+def test_crash_does_not_retract_in_flight_messages(world):
+    """Documented fail-stop semantics the fault fabric must not change.
+
+    ``fail_node`` silences traffic from the crash instant on, but
+    packets already on the wire still arrive — in both directions: a
+    message scheduled before the *sender* crashed is delivered, and a
+    message scheduled toward a node that crashes mid-flight is still
+    handed to its actor (the crash is a network-boundary event, not a
+    retraction of sent packets).
+    """
+    sim, net, actors = world
+    net.send(0, 1, Ping())  # in flight from the soon-to-crash sender
+    net.send(2, 0, Pong())  # in flight toward the soon-to-crash node
+    net.fail_node(0)
+    net.send(0, 2, Ping())  # post-crash send: silently dropped
+    net.send(1, 0, Pong())  # post-crash receive: silently dropped
+    sim.run()
+    assert len(actors[1].received) == 1  # pre-crash send arrived
+    assert len(actors[0].received) == 1  # pre-crash receive arrived
+    assert actors[2].received == []  # post-crash traffic lost
+    assert net.is_failed(0)
+    # Dropped sends still count as sent (they left the node); only
+    # two deliveries happened.
+    assert net.stats.sent_total == 4
+    assert net.stats.delivered_total == 2
+
+
 def test_broadcast_builds_one_message_per_peer(world):
     sim, net, actors = world
     built = []
