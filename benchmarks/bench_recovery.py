@@ -19,6 +19,7 @@ from repro.mutex.base import Hooks, SimEnv
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.streams import STREAM_NET_DELAY
 from repro.workload import BurstArrivals, Scenario, run_scenario
 
 N = 10
@@ -30,7 +31,7 @@ SEEDS = range(8)
 def _crash_run(seed, config):
     sim = Simulator()
     rngs = RngRegistry(seed)
-    network = Network(sim, rng=rngs.stream("net/delay"))
+    network = Network(sim, rng=rngs.stream(STREAM_NET_DELAY))
     hooks = Hooks()
     env = SimEnv(sim, network, rngs)
     collector = MetricsCollector(lambda: sim.now)

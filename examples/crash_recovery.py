@@ -26,6 +26,7 @@ from repro.mutex.base import Hooks, SimEnv
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.streams import STREAM_NET_DELAY
 
 N = 10
 CRASHED = 9
@@ -35,7 +36,7 @@ REQUESTERS = range(5)
 def run_once(rm_timeout, exclude=frozenset()):
     sim = Simulator()
     rngs = RngRegistry(1)
-    network = Network(sim, rng=rngs.stream("net/delay"))
+    network = Network(sim, rng=rngs.stream(STREAM_NET_DELAY))
     hooks = Hooks()
     env = SimEnv(sim, network, rngs)
     collector = MetricsCollector(lambda: sim.now)

@@ -38,6 +38,7 @@ from repro.core.state import SystemInfo
 from repro.core.tuples import ReqTuple
 from repro.mutex.base import Env, Hooks, MutexNode, NodeState
 from repro.net.message import Message
+from repro.sim.streams import NODE_KIND_RCV_FORWARD, node_stream_name
 
 __all__ = ["RCVNode"]
 
@@ -261,7 +262,9 @@ class RCVNode(MutexNode):
     ) -> None:
         rng = self._fwd_rng
         if rng is None:
-            rng = self._fwd_rng = self.env.rng(f"rcv-fwd/{self.node_id}")
+            rng = self._fwd_rng = self.env.rng(
+                node_stream_name(NODE_KIND_RCV_FORWARD, self.node_id)
+            )
         dest = self.policy.choose(unvisited, self.si, rng)
         i = unvisited.index(dest)
         msg = RequestMessage(

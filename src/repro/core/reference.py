@@ -36,6 +36,7 @@ from typing import List
 from repro.core.errors import ProtocolInvariantError
 from repro.core.exchange import is_consistent_order, merge_nonl
 from repro.core.state import SystemInfo
+from repro.sim.streams import NODE_KIND_RCV_FORWARD, node_stream_name
 
 __all__ = [
     "reference_snapshot",
@@ -288,7 +289,7 @@ def full_snapshot_mode():
     RCVNode = node_mod.RCVNode
 
     def _ref_forward_rm(self, home, tup, unvisited, hops):
-        rng = self.env.rng(f"rcv-fwd/{self.node_id}")
+        rng = self.env.rng(node_stream_name(NODE_KIND_RCV_FORWARD, self.node_id))
         ul = frozenset(unvisited)
         # The historical population shape: sorted sequence rebuilt per
         # hop.  Routed through the configured policy so non-random

@@ -39,6 +39,11 @@ from repro.net.network import Network
 from repro.registry import get_algorithm
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.streams import (
+    NODE_KIND_DRIVER,
+    STREAM_NET_DELAY,
+    STREAM_NET_FAULTS,
+)
 from repro.workload.arrivals import TraceArrivals
 from repro.workload.driver import NodeDriver
 from repro.workload.runner import IncompleteRunError
@@ -68,14 +73,14 @@ class Engine:
             self.fault_channel = FaultyChannel(
                 channel or RawChannel(),
                 self._fault_plan,
-                self.rngs.stream("net/faults"),
+                self.rngs.stream(STREAM_NET_FAULTS),
             )
             channel = self.fault_channel
         self.network = Network(
             self.sim,
             delay_model=scenario.delay_model,
             channel=channel,
-            rng=self.rngs.stream("net/delay"),
+            rng=self.rngs.stream(STREAM_NET_DELAY),
         )
         self.hooks = Hooks()
         self.env = SimEnv(self.sim, self.network, self.rngs)
@@ -105,7 +110,7 @@ class Engine:
                 scenario.arrivals,
                 scenario.cs_time,
                 self.collector,
-                self.rngs.node_stream("driver", node.node_id),
+                self.rngs.node_stream(NODE_KIND_DRIVER, node.node_id),
                 issue_deadline=scenario.issue_deadline,
             )
             self.hooks.subscribe_granted(driver.on_granted)

@@ -60,6 +60,8 @@ import urllib.parse
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Protocol, Tuple, Union
 
+from repro.experiments.protocol import API_PREFIX
+
 __all__ = [
     "BackendUnavailableError",
     "CacheBackend",
@@ -221,6 +223,7 @@ class DirectoryBackend:
             return False
         path = self._lease_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # repro-lint: allow(determinism) -- lease expiry needs a clock all hosts share
         payload = json.dumps({"owner": owner, "expires": time.time() + ttl})
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -231,6 +234,7 @@ class DirectoryBackend:
                 doc = {}  # holder vanished or wrote garbage: steal
             if (
                 doc.get("owner") != owner
+                # repro-lint: allow(determinism) -- lease expiry needs a clock all hosts share
                 and doc.get("expires", 0.0) > time.time()
             ):
                 return False
@@ -257,8 +261,10 @@ class DirectoryBackend:
             doc = json.loads(path.read_text())
         except (FileNotFoundError, json.JSONDecodeError):
             return False
+        # repro-lint: allow(determinism) -- lease expiry needs a clock all hosts share
         if doc.get("owner") != owner or doc.get("expires", 0.0) <= time.time():
             return False
+        # repro-lint: allow(determinism) -- lease expiry needs a clock all hosts share
         payload = json.dumps({"owner": owner, "expires": time.time() + ttl})
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(payload)
@@ -281,6 +287,7 @@ class DirectoryBackend:
         # update means at most one extra retry of a deterministic
         # cell, so the simplicity is worth it.
         records = self.failures(key)
+        # repro-lint: allow(determinism) -- human-readable failure timestamp
         records.append({"owner": owner, "error": error, "time": time.time()})
         path = self._failure_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -331,6 +338,7 @@ class DirectoryBackend:
         cell, never a wrong result).
         """
         removed = 0
+        # repro-lint: allow(determinism) -- ages compared against filesystem mtimes
         now = time.time()
         for tmp in self.root.rglob("*.tmp.*"):
             pid_text = tmp.name.rsplit(".", 1)[-1]
@@ -360,7 +368,11 @@ class DirectoryBackend:
 # in-memory backend (tests, throwaway runs)
 # ----------------------------------------------------------------------
 class MemoryBackend:
-    """Dict-backed backend; leases work across threads, not processes."""
+    """Dict-backed backend; leases work across threads, not processes.
+
+    Single-process, so lease expiry runs on ``time.monotonic()`` like
+    the cell service — immune to wall-clock steps mid-campaign.
+    """
 
     def __init__(self) -> None:
         self._store: Dict[str, str] = {}
@@ -382,9 +394,9 @@ class MemoryBackend:
             held = self._leases.get(key)
             if held is not None:
                 holder, expires = held
-                if holder != owner and expires > time.time():
+                if holder != owner and expires > time.monotonic():
                     return False
-            self._leases[key] = (owner, time.time() + ttl)
+            self._leases[key] = (owner, time.monotonic() + ttl)
             return True
 
     def release(self, key: str, owner: str) -> None:
@@ -396,15 +408,16 @@ class MemoryBackend:
     def renew(self, key: str, owner: str, ttl: float) -> bool:
         with self._lock:
             held = self._leases.get(key)
-            if held is None or held[0] != owner or held[1] <= time.time():
+            if held is None or held[0] != owner or held[1] <= time.monotonic():
                 return False
-            self._leases[key] = (owner, time.time() + ttl)
+            self._leases[key] = (owner, time.monotonic() + ttl)
             return True
 
     def record_failure(self, key: str, owner: str, error: str) -> int:
         with self._lock:
             records = self._failures.setdefault(key, [])
             records.append(
+                # repro-lint: allow(determinism) -- human-readable failure timestamp
                 {"owner": owner, "error": error, "time": time.time()}
             )
             return len(records)
@@ -503,6 +516,7 @@ class SQLiteBackend:
             )
 
     def claim(self, key: str, owner: str, ttl: float) -> bool:
+        # repro-lint: allow(determinism) -- lease expiry shared across processes via the db
         now = time.time()
         with self._lock:
             quarantined = self._conn.execute(
@@ -530,6 +544,7 @@ class SQLiteBackend:
             )
 
     def renew(self, key: str, owner: str, ttl: float) -> bool:
+        # repro-lint: allow(determinism) -- lease expiry shared across processes via the db
         now = time.time()
         with self._lock:
             before = self._conn.total_changes
@@ -546,6 +561,7 @@ class SQLiteBackend:
             self._conn.execute(
                 "INSERT INTO failures(key, owner, error, time) "
                 "VALUES(?, ?, ?, ?)",
+                # repro-lint: allow(determinism) -- human-readable failure timestamp
                 (key, owner, error, time.time()),
             )
             (count,) = self._conn.execute(
@@ -685,7 +701,7 @@ class ServiceBackend:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _json(self, method: str, path: str, doc: Optional[dict] = None):
-        body = json.dumps(doc) if doc is not None else None
+        body = json.dumps(doc, sort_keys=True) if doc is not None else None
         status, text = self._request(method, path, body)
         try:
             payload = json.loads(text) if text else {}
@@ -700,7 +716,7 @@ class ServiceBackend:
 
     @staticmethod
     def _cell_path(key: str) -> str:
-        return f"/v1/cells/{urllib.parse.quote(key, safe='')}"
+        return f"{API_PREFIX}/cells/{urllib.parse.quote(key, safe='')}"
 
     # -- storage -------------------------------------------------------
     def get(self, key: str) -> Optional[str]:
@@ -711,44 +727,45 @@ class ServiceBackend:
         self._json("PUT", self._cell_path(key), {"value": value})
 
     def keys(self) -> Iterator[str]:
-        _, doc = self._json("GET", "/v1/cells")
+        _, doc = self._json("GET", f"{API_PREFIX}/cells")
         return iter(doc["keys"])
 
     def __len__(self) -> int:
-        _, doc = self._json("GET", "/v1/cells")
+        _, doc = self._json("GET", f"{API_PREFIX}/cells")
         return doc["count"]
 
     # -- leases --------------------------------------------------------
     def claim(self, key: str, owner: str, ttl: float) -> bool:
         _, doc = self._json(
-            "POST", "/v1/claim", {"key": key, "owner": owner, "ttl": ttl}
+            "POST", f"{API_PREFIX}/claim", {"key": key, "owner": owner, "ttl": ttl}
         )
         self._claim_quarantined[key] = doc.get("quarantined", False)
         return doc["granted"]
 
     def release(self, key: str, owner: str) -> None:
-        self._json("POST", "/v1/release", {"key": key, "owner": owner})
+        self._json("POST", f"{API_PREFIX}/release", {"key": key, "owner": owner})
 
     def renew(self, key: str, owner: str, ttl: float) -> bool:
         _, doc = self._json(
-            "POST", "/v1/renew", {"key": key, "owner": owner, "ttl": ttl}
+            "POST", f"{API_PREFIX}/renew", {"key": key, "owner": owner, "ttl": ttl}
         )
         return doc["renewed"]
 
     # -- failures / quarantine -----------------------------------------
     def record_failure(self, key: str, owner: str, error: str) -> int:
-        # The transport retries on a broken connection, and /v1/fail
-        # is the one non-idempotent call: a report whose *response*
-        # was lost would be recorded twice, spending the quarantine
-        # budget on phantom crashes.  The random id lets the server
-        # drop the duplicate.
+        # The transport retries on a broken connection, and the fail
+        # endpoint is the one non-idempotent call: a report whose
+        # *response* was lost would be recorded twice, spending the
+        # quarantine budget on phantom crashes.  The random id lets
+        # the server drop the duplicate.
         _, doc = self._json(
             "POST",
-            "/v1/fail",
+            f"{API_PREFIX}/fail",
             {
                 "key": key,
                 "owner": owner,
                 "error": error,
+                # repro-lint: allow(determinism) -- dedup nonce for a lossy transport, never replayed
                 "id": os.urandom(8).hex(),
             },
         )
@@ -756,12 +773,12 @@ class ServiceBackend:
 
     def failures(self, key: str) -> List[dict]:
         status, doc = self._json(
-            "GET", f"/v1/quarantine/{urllib.parse.quote(key, safe='')}"
+            "GET", f"{API_PREFIX}/quarantine/{urllib.parse.quote(key, safe='')}"
         )
         return doc.get("failures", [])
 
     def quarantine(self, key: str) -> None:
-        self._json("POST", "/v1/quarantine", {"key": key})
+        self._json("POST", f"{API_PREFIX}/quarantine", {"key": key})
         self._claim_quarantined[key] = True
 
     def is_quarantined(self, key: str) -> bool:
@@ -775,19 +792,19 @@ class ServiceBackend:
         if cached is not None:
             return cached
         status, doc = self._json(
-            "GET", f"/v1/quarantine/{urllib.parse.quote(key, safe='')}"
+            "GET", f"{API_PREFIX}/quarantine/{urllib.parse.quote(key, safe='')}"
         )
         return doc.get("quarantined", False)
 
     def quarantined(self) -> Dict[str, dict]:
-        _, doc = self._json("GET", "/v1/quarantine")
+        _, doc = self._json("GET", f"{API_PREFIX}/quarantine")
         return doc["cells"]
 
     # -- monitoring ----------------------------------------------------
     def stats(self) -> dict:
         """The server's ``/v1/stats`` document: lease table, per-owner
         throughput counters, quarantine list (see docs/operations.md)."""
-        _, doc = self._json("GET", "/v1/stats")
+        _, doc = self._json("GET", f"{API_PREFIX}/stats")
         return doc
 
     def close(self) -> None:

@@ -1,0 +1,22 @@
+"""The one home of the campaign-service wire-protocol version.
+
+Both sides of the wire import from here — :mod:`.service` (the
+server) and the ``ServiceBackend`` client in :mod:`.backends` — so a
+version bump is a single edit that moves every endpoint at once.  The
+``wire-protocol`` lint rule (``python -m repro.lint``) enforces that
+no other module re-declares the version or hand-writes a ``/v<n>``
+path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PROTOCOL_VERSION", "API_PREFIX"]
+
+#: Wire-protocol version; bump on any incompatible change to the
+#: request/response shapes served by ``CellServer``.  Clients and
+#: servers of different versions refuse each other loudly (HTTP 400
+#: naming both versions).
+PROTOCOL_VERSION = 1
+
+#: Path prefix every endpoint lives under.
+API_PREFIX = f"/v{PROTOCOL_VERSION}"

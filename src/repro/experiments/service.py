@@ -16,7 +16,10 @@ Design decisions worth knowing:
   quarantine table live in server memory behind one lock and one
   clock.  TTL expiry is evaluated against the *server's* clock, so
   worker clock skew cannot corrupt lease arbitration — the one
-  problem the filesystem backends cannot solve.
+  problem the filesystem backends cannot solve.  That clock is
+  ``time.monotonic()``: an NTP step or a suspended laptop must not
+  expire (or immortalize) every lease at once.  Wall time appears
+  only in display fields (``started``, failure timestamps).
 * **Pluggable cell storage.**  Cell *values* are delegated to any
   :class:`~repro.experiments.backends.CacheBackend` (default
   :class:`~repro.experiments.backends.MemoryBackend`; a directory or
@@ -45,14 +48,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.backends import CacheBackend, MemoryBackend
+from repro.experiments.protocol import API_PREFIX, PROTOCOL_VERSION
 
 __all__ = ["CellServer", "PROTOCOL_VERSION", "API_PREFIX"]
-
-#: Wire-protocol version; bump on any incompatible change to the
-#: request/response shapes below.  Clients and servers of different
-#: versions refuse each other loudly (HTTP 400 naming both versions).
-PROTOCOL_VERSION = 1
-API_PREFIX = f"/v{PROTOCOL_VERSION}"
 
 
 def _owner_record() -> dict:
@@ -81,11 +79,16 @@ class _ServiceState:
         self.failures: Dict[str, List[dict]] = {}
         self.quarantine: Dict[str, dict] = {}
         self.owners: Dict[str, dict] = {}
+        # repro-lint: allow(determinism) -- display-only start timestamp
         self.started = time.time()
+        # Lease arbitration runs on the monotonic clock: immune to NTP
+        # steps and host suspend, which would otherwise expire (or
+        # immortalize) every lease in one jump.
+        self._started_mono = time.monotonic()
 
     def _touch(self, owner: str) -> dict:
         record = self.owners.setdefault(owner, _owner_record())
-        record["last_seen"] = time.time()
+        record["last_seen"] = time.monotonic()
         return record
 
     # -- leases --------------------------------------------------------
@@ -97,9 +100,9 @@ class _ServiceState:
             held = self.leases.get(key)
             if held is not None:
                 holder, expires = held
-                if holder != owner and expires > time.time():
+                if holder != owner and expires > time.monotonic():
                     return {"granted": False, "quarantined": False}
-            self.leases[key] = (owner, time.time() + ttl)
+            self.leases[key] = (owner, time.monotonic() + ttl)
             record["claims"] += 1
             return {"granted": True, "quarantined": False}
 
@@ -117,12 +120,12 @@ class _ServiceState:
         with self.lock:
             record = self._touch(owner)
             held = self.leases.get(key)
-            if held is None or held[0] != owner or held[1] <= time.time():
+            if held is None or held[0] != owner or held[1] <= time.monotonic():
                 # Expired (or stolen) leases are NOT renewable — the
                 # worker must re-claim, which can fail, which is how
                 # it learns a peer may be recomputing its cell.
                 return {"renewed": False}
-            self.leases[key] = (owner, time.time() + ttl)
+            self.leases[key] = (owner, time.monotonic() + ttl)
             record["renews"] += 1
             return {"renewed": True}
 
@@ -157,6 +160,7 @@ class _ServiceState:
                     {
                         "owner": owner,
                         "error": error,
+                        # repro-lint: allow(determinism) -- human-readable failure timestamp
                         "time": time.time(),
                         "id": request_id,
                     }
@@ -186,7 +190,7 @@ class _ServiceState:
 
     # -- monitoring ----------------------------------------------------
     def stats(self) -> dict:
-        now = time.time()
+        now = time.monotonic()
         with self.lock:
             leases = [
                 {
@@ -221,7 +225,7 @@ class _ServiceState:
             }
         return {
             "protocol": PROTOCOL_VERSION,
-            "uptime_seconds": round(now - self.started, 3),
+            "uptime_seconds": round(now - self._started_mono, 3),
             "cells": len(self.store),
             "leases": leases,
             "owners": owners,
@@ -244,7 +248,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
     def _reply(self, code: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

@@ -1,0 +1,102 @@
+"""``python -m repro.lint`` — the linter's command line."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.context import SCAN_DIRS, default_root
+from repro.lint.registry import all_rules
+from repro.lint.runner import run_lint
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism & invariant linter for this "
+            "repository (see docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "restrict tree-walking rules to these files/directories "
+            f"(root-relative; default: {', '.join(SCAN_DIRS)}). "
+            "Cross-file anchor rules always read their anchor files."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root (default: inferred from the package location)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only the named rules",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report to stdout",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(all_rules().values()):
+            print(f"{rule.id:>18}  {rule.summary}")
+        return 0
+
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = run_lint(
+            Path(args.root) if args.root else default_root(),
+            select=select,
+            paths=args.paths or None,
+        )
+    except ValueError as exc:  # unknown --select ids
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        counts = ", ".join(
+            f"{rule}={n}" for rule, n in sorted(report.counts().items())
+        )
+        status = "clean" if report.ok else f"FINDINGS ({counts})"
+        print(
+            f"repro.lint: {status} — {len(report.findings)} finding(s), "
+            f"{len(report.suppressed)} suppressed by pragma, "
+            f"rules: {', '.join(report.rules_run)}"
+        )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Shared state one lint run hands to every rule.
+
+The context owns file access: it resolves the repository root, walks
+the scan set (``src/``, ``benchmarks/``, ``examples/`` by default),
+parses each file once, and caches sources, ASTs, and pragma tables.
+Tests inject mutated sources through ``overlay`` (relative path →
+source text) — that is what makes the mutation-proof tests possible
+without touching the working tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.pragmas import PragmaParse, parse_pragmas
+
+__all__ = ["LintContext", "default_root", "SCAN_DIRS"]
+
+#: directories scanned by the tree-walking rules, relative to root
+SCAN_DIRS: Tuple[str, ...] = ("src", "benchmarks", "examples")
+
+
+def default_root() -> Path:
+    """The repository root, inferred from this installed package
+    (``<root>/src/repro/lint/context.py``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+class LintContext:
+    def __init__(
+        self,
+        root: Path,
+        *,
+        paths: Optional[Sequence[str]] = None,
+        overlay: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.root = Path(root).resolve()
+        #: optional scan-set restriction (files or directories,
+        #: root-relative); cross-file anchor rules ignore it
+        self.paths = [p.rstrip("/") for p in paths] if paths else None
+        self.overlay = dict(overlay or {})
+        self._sources: Dict[str, Optional[str]] = {}
+        self._trees: Dict[str, Optional[ast.AST]] = {}
+        self._pragmas: Dict[str, PragmaParse] = {}
+        #: files that failed to parse: (path, line, message)
+        self.parse_errors: List[Finding] = []
+
+    # ------------------------------------------------------------------
+    def exists(self, relpath: str) -> bool:
+        return relpath in self.overlay or (self.root / relpath).is_file()
+
+    def source(self, relpath: str) -> Optional[str]:
+        if relpath not in self._sources:
+            if relpath in self.overlay:
+                self._sources[relpath] = self.overlay[relpath]
+            else:
+                path = self.root / relpath
+                try:
+                    self._sources[relpath] = path.read_text(encoding="utf-8")
+                except OSError:
+                    self._sources[relpath] = None
+        return self._sources[relpath]
+
+    def tree(self, relpath: str) -> Optional[ast.AST]:
+        if relpath not in self._trees:
+            source = self.source(relpath)
+            if source is None:
+                self._trees[relpath] = None
+            else:
+                try:
+                    self._trees[relpath] = ast.parse(source, filename=relpath)
+                except SyntaxError as exc:
+                    self._trees[relpath] = None
+                    self.parse_errors.append(
+                        Finding(
+                            path=relpath,
+                            line=exc.lineno or 0,
+                            col=(exc.offset or 1) - 1,
+                            rule="parse",
+                            message=f"file does not parse: {exc.msg}",
+                        )
+                    )
+        return self._trees[relpath]
+
+    def pragmas(self, relpath: str) -> PragmaParse:
+        if relpath not in self._pragmas:
+            source = self.source(relpath)
+            self._pragmas[relpath] = (
+                parse_pragmas(source) if source is not None else PragmaParse()
+            )
+        return self._pragmas[relpath]
+
+    # ------------------------------------------------------------------
+    def _in_scan_paths(self, relpath: str) -> bool:
+        if self.paths is None:
+            return True
+        return any(
+            relpath == p or relpath.startswith(p + "/") for p in self.paths
+        )
+
+    def scan_files(self) -> Iterator[str]:
+        """Root-relative paths of every ``.py`` file in the scan set,
+        sorted, honoring the optional path restriction and overlay."""
+        seen = set()
+        for sub in SCAN_DIRS:
+            base = self.root / sub
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                rel = path.relative_to(self.root).as_posix()
+                if "__pycache__" in rel:
+                    continue
+                seen.add(rel)
+        for rel in self.overlay:
+            if rel.endswith(".py") and any(
+                rel.startswith(sub + "/") for sub in SCAN_DIRS
+            ):
+                seen.add(rel)
+        for rel in sorted(seen):
+            if self._in_scan_paths(rel):
+                yield rel
+
+    def scan_trees(self) -> Iterator[Tuple[str, ast.AST]]:
+        """``(relpath, tree)`` for every parseable file in the scan set."""
+        for rel in self.scan_files():
+            tree = self.tree(rel)
+            if tree is not None:
+                yield rel, tree

@@ -1,0 +1,32 @@
+"""The linter's result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source line.
+
+    Ordering is (path, line, col, rule) so reports are stable across
+    runs and rule-execution order.
+    """
+
+    path: str  #: repo-root-relative, forward slashes
+    line: int  #: 1-based; 0 for file-level findings
+    col: int  #: 0-based column offset
+    rule: str  #: rule id, e.g. ``"determinism"``
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"

@@ -1,0 +1,104 @@
+"""Per-line suppression pragmas.
+
+Grammar (one comment, either at the end of the offending line or
+alone on the line directly above it)::
+
+    # repro-lint: allow(<rule>[, <rule>...]) -- <justification>
+
+The justification is **required** and must be non-empty: a suppression
+without a recorded reason is itself a finding (``pragma`` rule), as is
+a comment that name-drops ``repro-lint`` but does not parse, a pragma
+naming an unknown rule, and — on a full run — a pragma that suppressed
+nothing (so stale pragmas cannot rot in place).
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, List, Tuple
+
+__all__ = ["Pragma", "PragmaParse", "parse_pragmas"]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*allow\(\s*([A-Za-z0-9_,\s-]+?)\s*\)\s*--\s*(.*)$"
+)
+_MENTION = re.compile(r"#.*repro-lint")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    #: the line the pragma comment itself sits on
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: comment-only line: the pragma covers the *next* line
+    standalone: bool = False
+
+
+@dataclass
+class PragmaParse:
+    """Pragmas of one file plus the grammar errors found parsing them."""
+
+    #: covered line -> pragma (a standalone pragma is keyed by the
+    #: line *below* its comment, an inline one by its own line)
+    pragmas: Dict[int, Pragma] = field(default_factory=dict)
+    #: (line, message) pairs for comments that look like suppression
+    #: pragmas but do not satisfy the grammar
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def parse_pragmas(source: str) -> PragmaParse:
+    """Extract pragmas from real comment tokens (never string bodies)."""
+    parse = PragmaParse()
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        comments = [
+            (
+                tok.start[0],
+                tok.string,
+                not tok.line[: tok.start[1]].strip(),
+            )
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return parse  # unparseable file: the rules will report it
+    for line, text, standalone in comments:
+        if not _MENTION.search(text):
+            continue
+        match = _PRAGMA.search(text)
+        if match is None:
+            parse.errors.append(
+                (
+                    line,
+                    "comment mentions repro-lint but is not a valid pragma; "
+                    "grammar: # repro-lint: allow(<rule>[, <rule>...]) "
+                    "-- <justification>",
+                )
+            )
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = match.group(2).strip()
+        if not rules:
+            parse.errors.append((line, "pragma allows no rules"))
+            continue
+        if not reason:
+            parse.errors.append(
+                (
+                    line,
+                    "pragma is missing its justification: every suppression "
+                    "must record why the violation is legitimate "
+                    "(… -- <justification>)",
+                )
+            )
+            continue
+        covered = line + 1 if standalone else line
+        parse.pragmas[covered] = Pragma(
+            line=line, rules=rules, reason=reason, standalone=standalone
+        )
+    return parse

@@ -1,0 +1,149 @@
+"""Rule ``counter-registry`` — reserved counter names are declared once.
+
+``RunResult.extra`` carries the deterministic instrumentation counters
+(``si_*`` structural-interference, ``exch_*`` exchange/merge,
+``net_fault_*`` fault-injection).  The profile harness asserts exact
+values for them, so a counter that is *emitted* under one spelling and
+*asserted* under another silently weakens the determinism oracle: the
+assertion reads ``extra.get(key, 0)`` and a typo'd key just compares
+zero to zero.  This rule requires every string literal matching a
+reserved prefix — anywhere in the scanned tree — to be declared in the
+canonical registry :mod:`repro.metrics.counters`, and requires
+``benchmarks/bench_profile.py`` to take its key list from that
+registry rather than a private copy.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Sequence, Set, Tuple
+
+from repro.lint.astutil import walk_constants
+from repro.lint.context import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+RULE_ID = "counter-registry"
+
+REGISTRY_PATH = "src/repro/metrics/counters.py"
+REGISTRY_MODULE = "repro.metrics.counters"
+PROFILE_PATH = "benchmarks/bench_profile.py"
+
+#: a reserved-prefix literal must be a bare counter name to count —
+#: prose mentioning "si_foo and exch_bar" doesn't fullmatch
+_NAME = re.compile(r"[a-z0-9_]+")
+
+
+def _load_registry(
+    ctx: LintContext,
+) -> Optional[Tuple[Set[str], Sequence[str]]]:
+    tree = ctx.tree(REGISTRY_PATH)
+    if tree is None:
+        return None
+    counters: Set[str] = set()
+    prefixes: Sequence[str] = ()
+    for node in tree.body:  # type: ignore[attr-defined]
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            targets = [node.target.id]
+        if "COUNTERS" in targets and isinstance(
+            getattr(node, "value", None), ast.Dict
+        ):
+            counters = {
+                k.value
+                for k in node.value.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+        elif "RESERVED_PREFIXES" in targets and isinstance(
+            getattr(node, "value", None), (ast.Tuple, ast.List)
+        ):
+            prefixes = tuple(
+                e.value
+                for e in node.value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            )
+    if not counters or not prefixes:
+        return None
+    return counters, prefixes
+
+
+@rule(RULE_ID, "reserved counter names must be declared in metrics/counters")
+def check(ctx: LintContext) -> Iterator[Finding]:
+    registry = _load_registry(ctx)
+    if registry is None:
+        yield Finding(
+            path=REGISTRY_PATH,
+            line=0,
+            col=0,
+            rule=RULE_ID,
+            message=(
+                "canonical counter registry (COUNTERS + "
+                "RESERVED_PREFIXES) is missing or unparseable"
+            ),
+        )
+        return
+    counters, prefixes = registry
+
+    for relpath, tree in ctx.scan_trees():
+        if relpath == REGISTRY_PATH or relpath.startswith(
+            "src/repro/lint/"
+        ):
+            continue
+        # __all__ entries are identifier exports, never counter names
+        exported: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                exported.update(id(c) for c in ast.walk(node.value))
+        for node in walk_constants(tree):
+            if id(node) in exported:
+                continue
+            value = node.value
+            if not value.startswith(prefixes):
+                continue
+            if not _NAME.fullmatch(value):
+                continue
+            if value not in counters:
+                yield Finding(
+                    path=relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"counter name {value!r} uses a reserved prefix "
+                        "but is not declared in "
+                        "repro.metrics.counters.COUNTERS — a typo here "
+                        "silently reads 0 in the profile assertions"
+                    ),
+                )
+
+    # bench_profile must consume the registry, not a private key list
+    ptree = ctx.tree(PROFILE_PATH)
+    if ptree is not None:
+        imports_registry = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == REGISTRY_MODULE
+            and any(n.name == "PROFILE_COUNTER_KEYS" for n in node.names)
+            for node in ast.walk(ptree)
+        )
+        if not imports_registry:
+            yield Finding(
+                path=PROFILE_PATH,
+                line=1,
+                col=0,
+                rule=RULE_ID,
+                message=(
+                    "bench_profile.py must import PROFILE_COUNTER_KEYS "
+                    "from repro.metrics.counters — a private key list "
+                    "drifts from the emitters"
+                ),
+            )

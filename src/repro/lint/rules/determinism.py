@@ -1,0 +1,159 @@
+"""Rule ``determinism`` — no unseeded time or randomness.
+
+Bit-for-bit replay of a ``(scenario, seed)`` pair requires that the
+deterministic core never reads a clock other than the simulator's and
+never draws randomness outside the named seed tree
+(:class:`~repro.sim.rng.RngRegistry`).  This rule forbids, by AST:
+
+* **wall-clock** calls (``time.time``, ``datetime.now``, …) —
+  everywhere (operational layers carry a per-line pragma, because a
+  wall clock there is a *decision*, e.g. cross-host lease expiry);
+* **timer** calls (``time.monotonic``, ``time.perf_counter``, …) —
+  in the deterministic core only; measurement layers (benchmarks,
+  experiments, runtime) legitimately time real work;
+* **ambient entropy** (``os.urandom``, ``uuid.uuid4``, ``secrets``,
+  module-level ``random.*`` draws which consume the process-global
+  stream) — everywhere;
+* **ad-hoc RNG construction** ``random.Random(...)`` — everywhere,
+  *unless* the seed argument is a ``spawn_seed(...)`` call, i.e. the
+  RNG is derived from the named stream tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import import_aliases, qualified_name
+from repro.lint.context import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+RULE_ID = "determinism"
+
+#: the deterministic core: simulated time only, named streams only
+CORE_DIRS = (
+    "src/repro/sim/",
+    "src/repro/net/",
+    "src/repro/core/",
+    "src/repro/engine/",
+    "src/repro/mutex/",
+    "src/repro/baselines/",
+    "src/repro/quorums/",
+    "src/repro/workload/",
+    "src/repro/metrics/",
+    "src/repro/trace/",
+)
+
+WALL_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+TIMER_CALLS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.thread_time",
+    }
+)
+
+ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+#: prefixes whose *any* call is ambient entropy (process-global state)
+ENTROPY_PREFIXES = ("secrets.",)
+
+
+def _is_spawn_seed_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    return name == "spawn_seed"
+
+
+def _in_core(relpath: str) -> bool:
+    return any(relpath.startswith(d) for d in CORE_DIRS)
+
+
+@rule(
+    RULE_ID,
+    "no wall-clock, ambient entropy, or ad-hoc RNGs outside the seed tree",
+)
+def check(ctx: LintContext) -> Iterator[Finding]:
+    for relpath, tree in ctx.scan_trees():
+        core = _in_core(relpath)
+        aliases = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qname = qualified_name(node.func, aliases)
+            if qname is None:
+                continue
+            hazard = None
+            if qname in WALL_CALLS:
+                hazard = (
+                    f"wall-clock call {qname}() — simulated components "
+                    "must read time through the simulator (env.now()); "
+                    "operational code that genuinely needs a shared wall "
+                    "clock (cross-host lease expiry, display timestamps) "
+                    "must say so with a pragma"
+                )
+            elif qname in TIMER_CALLS and core:
+                hazard = (
+                    f"monotonic-timer call {qname}() inside the "
+                    "deterministic core — core code must not observe "
+                    "host time at all; move the measurement to the "
+                    "benchmark/experiment layer"
+                )
+            elif qname in ENTROPY_CALLS or qname.startswith(
+                ENTROPY_PREFIXES
+            ):
+                hazard = (
+                    f"ambient entropy {qname}() — draws outside the "
+                    "named seed tree are unreplayable; derive from "
+                    "RngRegistry (sim/rng.py) instead"
+                )
+            elif qname == "random.Random":
+                if not (node.args and _is_spawn_seed_call(node.args[0])):
+                    hazard = (
+                        "ad-hoc random.Random(...) construction — seed "
+                        "it from the named stream tree "
+                        "(RngRegistry.stream(...) or "
+                        "random.Random(spawn_seed(root, name)))"
+                    )
+            elif qname.startswith("random.") and qname.count(".") == 1:
+                # module-level draw: consumes the process-global stream
+                hazard = (
+                    f"{qname}() draws from the process-global random "
+                    "stream — use a named RngRegistry stream"
+                )
+            if hazard is not None:
+                yield Finding(
+                    path=relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=RULE_ID,
+                    message=hazard,
+                )

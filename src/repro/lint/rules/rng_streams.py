@@ -1,0 +1,178 @@
+"""Rule ``rng-streams`` — stream names come from one registry.
+
+Named RNG streams are the repo's reproducibility backbone: a stream
+name that typo-forks (``"net/delya"``) silently decouples a consumer
+from the draws every other run sees, and a name that collides merges
+two streams.  Neither fails a test — the run is still deterministic,
+just *different*.  This rule pins every stream-name **literal** at a
+``stream(...)`` / ``node_stream(...)`` / ``rng(...)`` /
+``node_stream_name(...)`` call site to the canonical registry
+:mod:`repro.sim.streams` (itself read via AST, not imported).
+
+Accepted spellings at a call site:
+
+* a constant imported from ``repro.sim.streams``;
+* a string literal equal to a registered stream name (or
+  ``"<kind>/<suffix>"`` with a registered per-node kind);
+* an f-string whose constant head is ``"<kind>/"`` with a registered
+  kind.
+
+Arguments the rule cannot resolve statically (plain variables) are
+skipped — the plumbing layers (``sim/rng.py``, ``mutex/base.py``
+``Env.rng`` delegation) forward caller-supplied names by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.astutil import import_aliases, qualified_name
+from repro.lint.context import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+RULE_ID = "rng-streams"
+
+REGISTRY_PATH = "src/repro/sim/streams.py"
+REGISTRY_MODULE = "repro.sim.streams"
+
+#: files allowed to build stream names dynamically: the registry's own
+#: formatting helper and the stream factory it feeds
+EXEMPT = frozenset({REGISTRY_PATH, "src/repro/sim/rng.py"})
+
+#: method names whose first argument is a full stream name / a kind
+FULL_NAME_METHODS = frozenset({"stream", "rng"})
+KIND_METHODS = frozenset({"node_stream", "node_stream_name"})
+
+
+def _load_registry(
+    ctx: LintContext,
+) -> Optional[Tuple[Set[str], Set[str]]]:
+    tree = ctx.tree(REGISTRY_PATH)
+    if tree is None:
+        return None
+    streams: Set[str] = set()
+    kinds: Set[str] = set()
+    for node in tree.body:  # type: ignore[attr-defined]
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if not (
+            isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            continue
+        if target.id.startswith("STREAM_"):
+            streams.add(node.value.value)
+        elif target.id.startswith("NODE_KIND_"):
+            kinds.add(node.value.value)
+    return streams, kinds
+
+
+def _head_constant(node: ast.JoinedStr) -> Optional[str]:
+    if node.values and isinstance(node.values[0], ast.Constant):
+        value = node.values[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+@rule(RULE_ID, "rng stream names must come from repro.sim.streams")
+def check(ctx: LintContext) -> Iterator[Finding]:
+    registry = _load_registry(ctx)
+    if registry is None:
+        yield Finding(
+            path=REGISTRY_PATH,
+            line=0,
+            col=0,
+            rule=RULE_ID,
+            message=(
+                "canonical stream registry is missing or unparseable — "
+                "every named-stream invariant hangs off this module"
+            ),
+        )
+        return
+    streams, kinds = registry
+
+    def _valid_full_name(value: str) -> bool:
+        if value in streams:
+            return True
+        head, sep, _ = value.partition("/")
+        return bool(sep) and head in kinds
+
+    for relpath, tree in ctx.scan_trees():
+        if relpath in EXEMPT:
+            continue
+        aliases = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                method = func.attr
+            elif isinstance(func, ast.Name):
+                method = func.id
+            else:
+                continue
+            if method in FULL_NAME_METHODS:
+                expects = "name"
+            elif method in KIND_METHODS:
+                expects = "kind"
+            else:
+                continue
+            arg = node.args[0]
+
+            problem: Optional[str] = None
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                value = arg.value
+                if expects == "kind":
+                    if value not in kinds:
+                        problem = (
+                            f"per-node stream kind {value!r} is not "
+                            "registered in repro.sim.streams "
+                            f"(known kinds: {sorted(kinds)})"
+                        )
+                elif not _valid_full_name(value):
+                    problem = (
+                        f"stream name {value!r} is not registered in "
+                        "repro.sim.streams "
+                        f"(known: {sorted(streams)}; "
+                        f"per-node kinds: {sorted(kinds)})"
+                    )
+            elif isinstance(arg, ast.JoinedStr):
+                head = _head_constant(arg)
+                kind = head.partition("/")[0] if head is not None else None
+                if head is None or expects == "kind" or kind == head:
+                    problem = (
+                        "dynamic stream name — per-node streams are "
+                        "built with node_stream_name(<registered "
+                        "kind>, id), not inline f-strings without a "
+                        "'<kind>/' head"
+                    )
+                elif kind not in kinds:
+                    problem = (
+                        f"per-node stream kind {kind!r} is not "
+                        "registered in repro.sim.streams "
+                        f"(known kinds: {sorted(kinds)})"
+                    )
+            elif isinstance(arg, ast.Name):
+                qname = qualified_name(arg, aliases)
+                if qname is not None and not qname.startswith(
+                    REGISTRY_MODULE + "."
+                ):
+                    problem = (
+                        f"stream name constant {arg.id!r} does not come "
+                        "from repro.sim.streams — register it there"
+                    )
+                # unresolvable local variable: skipped (plumbing)
+            if problem is not None:
+                yield Finding(
+                    path=relpath,
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    rule=RULE_ID,
+                    message=problem,
+                )

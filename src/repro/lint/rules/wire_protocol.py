@@ -1,0 +1,222 @@
+"""Rule ``wire-protocol`` — one protocol version, deterministic JSON.
+
+The shared-nothing campaign service speaks a small versioned HTTP/JSON
+protocol (``/v1/...``).  Two drift modes have bitten similar systems:
+
+* a hand-written ``"/v1/claim"`` literal survives a version bump and
+  half the endpoints silently keep speaking the old dialect — so the
+  version prefix must be built from ``PROTOCOL_VERSION`` (declared
+  exactly once, in ``experiments/protocol.py``, the module both the
+  server and the client import) via ``API_PREFIX``;
+* ``json.dumps`` without ``sort_keys=True`` makes wire bytes depend on
+  dict construction order, which breaks byte-level replay comparison
+  of recorded traffic — so every serialization on the protocol paths
+  must sort keys.
+
+Scope: ``experiments/service.py`` (the server) and
+``experiments/backends.py`` (the ``ServiceBackend`` client), plus any
+future file that mentions a ``/v<digit>`` path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Tuple
+
+from repro.lint.astutil import walk_constants
+from repro.lint.context import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+RULE_ID = "wire-protocol"
+
+PROTOCOL_PATH = "src/repro/experiments/protocol.py"
+SERVICE_PATH = "src/repro/experiments/service.py"
+BACKENDS_PATH = "src/repro/experiments/backends.py"
+
+#: a protocol-path literal: starts with /v<digit> (help text like
+#: "see /v1/stats" mid-string does not start the string, so no noise)
+_VPATH = re.compile(r"/v\d")
+
+#: json.dumps calls on these files' protocol paths must sort keys
+_SORT_KEYS_FILES = (SERVICE_PATH, BACKENDS_PATH)
+
+
+def _dumps_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "dumps"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "json"
+        ):
+            yield node
+
+
+def _has_sort_keys(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "sort_keys":
+            return (
+                isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            )
+    return False
+
+
+def _module_assigns(tree: ast.Module, name: str) -> List[ast.Assign]:
+    out = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
+        ):
+            out.append(node)
+    return out
+
+
+def _references(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == name
+        for child in ast.walk(node)
+    )
+
+
+@rule(RULE_ID, "versioned paths via API_PREFIX; wire JSON sorts keys")
+def check(ctx: LintContext) -> Iterator[Finding]:
+    # -- PROTOCOL_VERSION declared exactly once, in protocol.py --------
+    declarations: List[Tuple[str, int]] = []
+    for relpath, tree in ctx.scan_trees():
+        for assign in _module_assigns(tree, "PROTOCOL_VERSION"):
+            declarations.append((relpath, assign.lineno))
+    if not declarations:
+        yield Finding(
+            path=PROTOCOL_PATH,
+            line=0,
+            col=0,
+            rule=RULE_ID,
+            message=(
+                "PROTOCOL_VERSION is not declared anywhere — the wire "
+                "protocol must carry a single version constant"
+            ),
+        )
+    else:
+        for relpath, lineno in declarations:
+            if relpath != PROTOCOL_PATH:
+                yield Finding(
+                    path=relpath,
+                    line=lineno,
+                    col=0,
+                    rule=RULE_ID,
+                    message=(
+                        "PROTOCOL_VERSION re-declared outside "
+                        "experiments/protocol.py — import it instead; "
+                        "two declarations *will* diverge"
+                    ),
+                )
+
+    # -- API_PREFIX derives from PROTOCOL_VERSION ----------------------
+    stree = ctx.tree(PROTOCOL_PATH)
+    if stree is not None:
+        prefixes = _module_assigns(stree, "API_PREFIX")
+        if not prefixes:
+            yield Finding(
+                path=PROTOCOL_PATH,
+                line=0,
+                col=0,
+                rule=RULE_ID,
+                message="API_PREFIX is not declared in protocol.py",
+            )
+        else:
+            for assign in prefixes:
+                if not _references(assign.value, "PROTOCOL_VERSION"):
+                    yield Finding(
+                        path=PROTOCOL_PATH,
+                        line=assign.lineno,
+                        col=assign.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            "API_PREFIX must be built from "
+                            "PROTOCOL_VERSION (e.g. "
+                            'f"/v{PROTOCOL_VERSION}") so a version bump '
+                            "is one edit"
+                        ),
+                    )
+
+    # -- no hand-written /v<digit> literals anywhere -------------------
+    for relpath, tree in ctx.scan_trees():
+        # constants embedded in f-strings are reported once, by the
+        # f-string head check below
+        in_fstrings = {
+            id(child)
+            for fnode in ast.walk(tree)
+            if isinstance(fnode, ast.JoinedStr)
+            for child in fnode.values
+        }
+        for node in walk_constants(tree):
+            if id(node) in in_fstrings:
+                continue
+            if _VPATH.match(node.value):
+                yield Finding(
+                    path=relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"hand-written protocol path {node.value!r} — "
+                        "build it from API_PREFIX "
+                        '(f"{API_PREFIX}/claim") so a version bump '
+                        "cannot leave stale endpoints behind"
+                    ),
+                )
+        # f-strings whose constant head hardcodes /v<digit>
+        for fnode in ast.walk(tree):
+            if isinstance(fnode, ast.JoinedStr) and fnode.values:
+                head = fnode.values[0]
+                if (
+                    isinstance(head, ast.Constant)
+                    and isinstance(head.value, str)
+                    and _VPATH.match(head.value)
+                ):
+                    yield Finding(
+                        path=relpath,
+                        line=fnode.lineno,
+                        col=fnode.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            "f-string hardcodes the protocol version "
+                            f"({head.value.split('/')[1]!r}) — "
+                            "interpolate API_PREFIX instead"
+                        ),
+                    )
+
+    # -- protocol JSON must serialize with sorted keys -----------------
+    for relpath in _SORT_KEYS_FILES:
+        tree = ctx.tree(relpath)
+        if tree is None:
+            continue
+        if relpath == BACKENDS_PATH:
+            scopes: List[ast.AST] = [
+                node
+                for node in ast.walk(tree)
+                if isinstance(node, ast.ClassDef)
+                and node.name == "ServiceBackend"
+            ]
+        else:
+            scopes = [tree]
+        for scope in scopes:
+            for call in _dumps_calls(scope):
+                if not _has_sort_keys(call):
+                    yield Finding(
+                        path=relpath,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            "json.dumps on a wire-protocol path without "
+                            "sort_keys=True — wire bytes must not depend "
+                            "on dict construction order"
+                        ),
+                    )

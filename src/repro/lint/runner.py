@@ -1,0 +1,128 @@
+"""Run rules, apply pragma suppression, enforce pragma hygiene."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.context import LintContext, default_root
+from repro.lint.findings import Finding
+from repro.lint.registry import all_rules
+
+__all__ = ["LintReport", "run_lint"]
+
+
+@dataclass
+class LintReport:
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    #: findings silenced by a valid pragma (kept for the JSON report —
+    #: a suppression is part of the record, not a deletion)
+    suppressed: List[Finding] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "root": self.root,
+            "ok": self.ok,
+            "rules_run": self.rules_run,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    *,
+    select: Optional[Sequence[str]] = None,
+    paths: Optional[Sequence[str]] = None,
+    overlay: Optional[Dict[str, str]] = None,
+) -> LintReport:
+    """Lint the tree at ``root`` and return the report.
+
+    ``select`` restricts to the named rule ids; ``paths`` restricts
+    the scan set of tree-walking rules; ``overlay`` substitutes file
+    contents by root-relative path (the mutation tests' hook).
+    """
+    root = Path(root) if root is not None else default_root()
+    rules = all_rules()
+    if select is not None:
+        unknown = sorted(set(select) - set(rules))
+        if unknown:
+            raise ValueError(f"unknown rule ids: {unknown}")
+        rules = {rid: rules[rid] for rid in select}
+    ctx = LintContext(root, paths=paths, overlay=overlay)
+    report = LintReport(root=str(root), rules_run=sorted(rules))
+
+    raw: List[Finding] = []
+    for rule_id in sorted(rules):
+        raw.extend(rules[rule_id].check(ctx))
+    raw.extend(ctx.parse_errors)
+
+    # -- pragma suppression --------------------------------------------
+    used: Dict[str, set] = {}  # path -> lines whose pragma suppressed
+    for finding in sorted(raw):
+        pragma = ctx.pragmas(finding.path).pragmas.get(finding.line)
+        if pragma is not None and finding.rule in pragma.rules:
+            report.suppressed.append(finding)
+            used.setdefault(finding.path, set()).add(finding.line)
+        else:
+            report.findings.append(finding)
+
+    # -- pragma hygiene ------------------------------------------------
+    full_run = select is None and paths is None
+    known_ids = set(all_rules())
+    for rel in ctx.scan_files():
+        parse = ctx.pragmas(rel)
+        for line, message in parse.errors:
+            report.findings.append(
+                Finding(path=rel, line=line, col=0, rule="pragma", message=message)
+            )
+        for covered, pragma in sorted(parse.pragmas.items()):
+            for rid in pragma.rules:
+                if rid not in known_ids:
+                    report.findings.append(
+                        Finding(
+                            path=rel,
+                            line=pragma.line,
+                            col=0,
+                            rule="pragma",
+                            message=(
+                                f"pragma allows unknown rule {rid!r} "
+                                f"(known: {', '.join(sorted(known_ids))})"
+                            ),
+                        )
+                    )
+            # Unused-pragma detection only makes sense when every rule
+            # actually ran over the whole tree.
+            if full_run and covered not in used.get(rel, set()):
+                report.findings.append(
+                    Finding(
+                        path=rel,
+                        line=pragma.line,
+                        col=0,
+                        rule="pragma",
+                        message=(
+                            "pragma suppresses nothing on the line it "
+                            "covers — remove it (stale suppressions hide "
+                            "future violations)"
+                        ),
+                    )
+                )
+
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

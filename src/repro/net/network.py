@@ -23,7 +23,33 @@ from repro.net.message import Message
 from repro.sim.kernel import Simulator
 from repro.sim.process import Actor
 
-__all__ = ["Network", "NetworkStats"]
+__all__ = ["Network", "NetworkStats", "SeedlessNetworkError"]
+
+
+class SeedlessNetworkError(RuntimeError):
+    """A stochastic delay model drew randomness from a Network that was
+    built without an ``rng``."""
+
+
+class _SeedlessRng:
+    """Placeholder rng for Networks constructed without one.
+
+    Constant-delay networks (the paper's default) never draw, so they
+    may omit ``rng``.  The first *draw* from this placeholder raises:
+    the historical fallback was a shared ``Random(0)``, which made two
+    stochastic networks in one process correlated with each other and
+    untied from the experiment's seed tree — runs looked reproducible
+    while silently ignoring the configured seed.
+    """
+
+    def __getattr__(self, name: str):
+        raise SeedlessNetworkError(
+            "this Network has a stochastic delay model or channel but was "
+            "built without an rng; pass one from the experiment's seed "
+            "tree, e.g. Network(sim, rng=rngs.stream(STREAM_NET_DELAY)) "
+            "with RngRegistry(seed) from repro.sim.rng and "
+            "STREAM_NET_DELAY from repro.sim.streams"
+        )
 
 
 def _pair_constant_trusted(model: DelayModel) -> bool:
@@ -87,7 +113,11 @@ class Network:
         Ordering discipline (default: :class:`RawChannel`, i.e. no
         FIFO guarantee — the paper's weakest assumption).
     rng:
-        Random stream used by stochastic delay models.
+        Random stream used by stochastic delay models.  Optional only
+        for networks that never draw (constant delays, RawChannel);
+        the first draw without one raises
+        :class:`SeedlessNetworkError` instead of silently falling back
+        to an ad-hoc seed outside the experiment's stream tree.
     """
 
     def __init__(
@@ -98,12 +128,10 @@ class Network:
         channel: Optional[ChannelDiscipline] = None,
         rng=None,
     ) -> None:
-        import random as _random
-
         self.sim = sim
         self.delay_model = delay_model or ConstantDelay(5.0)
         self.channel = channel or RawChannel()
-        self.rng = rng or _random.Random(0)
+        self.rng = rng if rng is not None else _SeedlessRng()
         self.stats = NetworkStats()
         self._actors: Dict[int, Actor] = {}
         self._taps: List[Callable[[int, int, Message, float], None]] = []

@@ -18,6 +18,8 @@ from repro.mutex.base import Hooks, MutexNode, NodeState
 from repro.net.message import Message
 from repro.registry import get_algorithm
 from repro.runtime.env import AsyncEnv
+from repro.sim.rng import spawn_seed
+from repro.sim.streams import STREAM_NET_DELAY
 
 __all__ = ["LocalCluster"]
 
@@ -54,7 +56,7 @@ class LocalCluster:
         self.algorithm = algorithm
         self.delay = delay
         self.jitter = jitter
-        self._delay_rng = random.Random(seed)
+        self._delay_rng = random.Random(spawn_seed(seed, STREAM_NET_DELAY))
         self.hooks = Hooks()
         self.env = AsyncEnv(self._send, seed=seed)
         factory = get_algorithm(algorithm)

@@ -16,6 +16,8 @@ import hashlib
 import random
 from typing import Dict
 
+from repro.sim.streams import node_stream_name
+
 __all__ = ["RngRegistry", "spawn_seed"]
 
 
@@ -46,7 +48,7 @@ class RngRegistry:
 
     def node_stream(self, kind: str, node_id: int) -> random.Random:
         """Convenience: per-node stream, e.g. ``node_stream('arrivals', 3)``."""
-        return self.stream(f"{kind}/{node_id}")
+        return self.stream(node_stream_name(kind, node_id))
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

@@ -1,0 +1,64 @@
+"""Canonical registry of named RNG streams.
+
+Every random draw in the deterministic core flows through a *named*
+stream of :class:`~repro.sim.rng.RngRegistry` (see ``sim/rng.py``);
+the stream **names** are declared here, once, so they cannot silently
+collide or typo-fork across call sites.  ``repro.lint``'s
+``rng-streams`` rule reads this module via AST and rejects any
+``stream(...)`` / ``node_stream(...)`` / ``env.rng(...)`` name
+literal that is not registered below.
+
+Two kinds of entry:
+
+* ``STREAM_*`` constants are full stream names, used as-is
+  (``rngs.stream(STREAM_NET_DELAY)``).
+* ``NODE_KIND_*`` constants are per-node stream *kinds*; the actual
+  stream name is ``"<kind>/<node_id>"``, built by
+  :func:`node_stream_name` (or ``RngRegistry.node_stream``).
+
+Adding a stream is a one-line change here plus the call site; the
+linter keeps the two in sync in both directions (an unused registry
+entry is harmless, an unregistered call-site name is a finding).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "STREAM_NET_DELAY",
+    "STREAM_NET_FAULTS",
+    "NODE_KIND_DRIVER",
+    "NODE_KIND_RCV_FORWARD",
+    "STREAM_NAMES",
+    "NODE_STREAM_KINDS",
+    "node_stream_name",
+]
+
+#: Per-message propagation-delay jitter (stochastic delay models).
+STREAM_NET_DELAY = "net/delay"
+
+#: Drop/dup/reorder draws of the fault fabric — its own stream, so
+#: fault cells never perturb the delay/workload draws of clean cells.
+STREAM_NET_FAULTS = "net/faults"
+
+#: Per-node workload driver: arrival interludes and CS hold times.
+NODE_KIND_DRIVER = "driver"
+
+#: Per-node RCV forwarding choice (random forwarding policy).
+NODE_KIND_RCV_FORWARD = "rcv-fwd"
+
+#: All registered full stream names.
+STREAM_NAMES = frozenset({STREAM_NET_DELAY, STREAM_NET_FAULTS})
+
+#: All registered per-node stream kinds.
+NODE_STREAM_KINDS = frozenset({NODE_KIND_DRIVER, NODE_KIND_RCV_FORWARD})
+
+
+def node_stream_name(kind: str, node_id: int) -> str:
+    """The full stream name of a per-node stream: ``"<kind>/<id>"``.
+
+    The single formatting point for per-node names — used by
+    :meth:`~repro.sim.rng.RngRegistry.node_stream` and by call sites
+    that only hold an :class:`~repro.mutex.base.Env` (whose ``rng``
+    takes a full name).
+    """
+    return f"{kind}/{node_id}"

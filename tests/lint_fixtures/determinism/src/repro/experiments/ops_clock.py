@@ -1,0 +1,16 @@
+"""Fixture: the operational layer's clock policy."""
+
+import time
+
+
+def measure():
+    return time.monotonic()  # timers are fine outside the core
+
+
+def lease_expiry():
+    # repro-lint: allow(determinism) -- fixture: shared wall clock for leases
+    return time.time()
+
+
+def naked_wall():
+    return time.time()  # line 16: wall clock without a pragma

@@ -1,0 +1,32 @@
+"""Fixture: every determinism hazard, inside the deterministic core."""
+
+import os
+import random
+import time
+from random import Random as R
+
+from repro.sim.rng import spawn_seed
+
+
+def wall():
+    return time.time()  # line 12: wall clock in core
+
+
+def timer():
+    return time.monotonic()  # line 16: host timer in core
+
+
+def entropy():
+    return os.urandom(4)  # line 20: ambient entropy
+
+
+def global_draw():
+    return random.random()  # line 24: process-global stream
+
+
+def adhoc():
+    return R(42)  # line 28: ad-hoc RNG, aliased import
+
+
+def derived(seed):
+    return random.Random(spawn_seed(seed, "net/delay"))  # line 32: allowed

@@ -1,0 +1,17 @@
+"""Fixture: stream-name call sites, valid and invalid."""
+
+from repro.sim.streams import STREAM_NET_DELAY
+
+
+def good(rngs, node_id):
+    rngs.stream(STREAM_NET_DELAY)  # registry constant
+    rngs.stream("net/faults")  # literal that matches the registry
+    rngs.stream(f"driver/{node_id}")  # f-string with registered kind head
+    rngs.node_stream("driver", node_id)  # registered kind
+
+
+def bad(rngs, env, node_id, name):
+    rngs.stream("net/delya")  # line 14: typo-forked name
+    rngs.node_stream("ghost", node_id)  # line 15: unregistered kind
+    env.rng(f"{name}/x")  # line 16: dynamic head
+    rngs.stream(name)  # unresolvable variable: skipped (plumbing)

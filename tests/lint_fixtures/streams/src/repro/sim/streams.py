@@ -1,0 +1,5 @@
+"""Fixture registry: two stream names, one per-node kind."""
+
+STREAM_NET_DELAY = "net/delay"
+STREAM_NET_FAULTS = "net/faults"
+NODE_KIND_DRIVER = "driver"

@@ -336,3 +336,15 @@ def test_cell_cache_wants_exactly_one_of_root_or_backend(tmp_path):
         CellCache()
     with pytest.raises(TypeError, match="exactly one"):
         CellCache(tmp_path, backend=MemoryBackend())
+
+
+def test_memory_backend_leases_survive_wall_clock_jumps(monkeypatch):
+    # Same regression class as the cell service: in-process lease
+    # expiry must not move when the wall clock steps.
+    import time
+
+    backend = MemoryBackend()
+    assert backend.claim("k", "alice", ttl=30.0)
+    monkeypatch.setattr(time, "time", lambda: 4e12)
+    assert not backend.claim("k", "bob", ttl=30.0)
+    assert backend.renew("k", "alice", ttl=30.0)

@@ -213,6 +213,8 @@ def test_subclass_overriding_sample_is_not_trusted_by_fast_path():
     from repro.net.network import Network
     from repro.sim.kernel import Simulator
     from repro.sim.process import Actor
+    from repro.sim.rng import RngRegistry
+    from repro.sim.streams import STREAM_NET_DELAY
 
     class Jittered(ConstantDelay):
         def sample(self, src, dst, rng):
@@ -223,7 +225,11 @@ def test_subclass_overriding_sample_is_not_trusted_by_fast_path():
             pass
 
     sim = Simulator()
-    net = Network(sim, delay_model=Jittered(5.0))
+    net = Network(
+        sim,
+        delay_model=Jittered(5.0),
+        rng=RngRegistry(0).stream(STREAM_NET_DELAY),
+    )
     assert net._pair_delays is None  # fast path refused up front
     for i in range(2):
         net.register(Sink(i))
@@ -237,13 +243,19 @@ def test_stochastic_delay_disables_fast_path():
     from repro.net.network import Network
     from repro.sim.kernel import Simulator
     from repro.sim.process import Actor
+    from repro.sim.rng import RngRegistry
+    from repro.sim.streams import STREAM_NET_DELAY
 
     class Sink(Actor):
         def deliver(self, src, message):
             pass
 
     sim = Simulator()
-    net = Network(sim, delay_model=UniformDelay(1.0, 9.0))
+    net = Network(
+        sim,
+        delay_model=UniformDelay(1.0, 9.0),
+        rng=RngRegistry(0).stream(STREAM_NET_DELAY),
+    )
     for i in range(2):
         net.register(Sink(i))
     net.send(0, 1, Message())

@@ -1,0 +1,422 @@
+"""The static-analysis subsystem (``python -m repro.lint``).
+
+Covers, per docs/static-analysis.md:
+
+* the pragma grammar (inline and standalone, required justification);
+* each rule against purpose-built fixture trees
+  (``tests/lint_fixtures/``) or source overlays on the real tree;
+* mutation-proofing — programmatically breaking each guarded
+  invariant in an overlay and asserting the rule catches it;
+* the self-check: the shipped tree lints clean;
+* the CLI contract (exit codes, ``--json`` shape).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.pragmas import parse_pragmas
+
+ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+PARALLEL = "src/repro/experiments/parallel.py"
+BATCH = "src/repro/engine/batch.py"
+CACHE = "src/repro/experiments/cache.py"
+
+CELLSPEC_FIELDS = (
+    "algorithm",
+    "n_nodes",
+    "seed",
+    "workload",
+    "cs_time",
+    "delay",
+    "algo_kwargs",
+    "faults",
+)
+
+
+def _lines(report, rule, path_suffix=None):
+    return [
+        f.line
+        for f in report.findings
+        if f.rule == rule
+        and (path_suffix is None or f.path.endswith(path_suffix))
+    ]
+
+
+# ----------------------------------------------------------------------
+# pragma grammar
+# ----------------------------------------------------------------------
+def test_pragma_inline_covers_its_own_line():
+    parse = parse_pragmas(
+        "x = wall()  # repro-lint: allow(determinism) -- display only\n"
+    )
+    assert not parse.errors
+    assert parse.pragmas[1].rules == ("determinism",)
+    assert parse.pragmas[1].reason == "display only"
+
+
+def test_pragma_standalone_covers_the_next_line():
+    parse = parse_pragmas(
+        "# repro-lint: allow(determinism, wire-protocol) -- both\n"
+        "x = wall()\n"
+    )
+    assert not parse.errors
+    assert 1 not in parse.pragmas
+    assert parse.pragmas[2].rules == ("determinism", "wire-protocol")
+    assert parse.pragmas[2].standalone
+
+
+def test_pragma_requires_justification():
+    parse = parse_pragmas("x = 1  # repro-lint: allow(determinism) --\n")
+    assert not parse.pragmas
+    assert parse.errors and "justification" in parse.errors[0][1]
+
+
+def test_pragma_malformed_mention_is_an_error():
+    parse = parse_pragmas("x = 1  # repro-lint: allow everything please\n")
+    assert not parse.pragmas
+    assert parse.errors and "not a valid pragma" in parse.errors[0][1]
+
+
+def test_pragma_never_parsed_out_of_string_literals():
+    parse = parse_pragmas(
+        'doc = "# repro-lint: allow(determinism) -- not a comment"\n'
+    )
+    assert not parse.pragmas
+    assert not parse.errors
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_determinism_fixture_flags_core_hazards():
+    report = run_lint(FIXTURES / "determinism", select=["determinism"])
+    core = _lines(report, "determinism", "sim/bad_clock.py")
+    # wall, timer-in-core, entropy, global draw, aliased ad-hoc Random
+    assert core == [12, 16, 20, 24, 28]
+
+
+def test_determinism_spawn_seeded_random_is_allowed():
+    report = run_lint(FIXTURES / "determinism", select=["determinism"])
+    assert 32 not in _lines(report, "determinism", "sim/bad_clock.py")
+
+
+def test_determinism_operational_layer_policy():
+    report = run_lint(FIXTURES / "determinism", select=["determinism"])
+    ops = _lines(report, "determinism", "experiments/ops_clock.py")
+    assert ops == [16]  # naked wall clock; monotonic + pragma'd are fine
+    assert any(
+        f.path.endswith("ops_clock.py") and f.line == 12
+        for f in report.suppressed
+    )
+
+
+# ----------------------------------------------------------------------
+# rng-streams
+# ----------------------------------------------------------------------
+def test_rng_streams_fixture():
+    report = run_lint(FIXTURES / "streams", select=["rng-streams"])
+    assert _lines(report, "rng-streams", "engine/use.py") == [14, 15, 16]
+
+
+def test_rng_streams_missing_registry_is_itself_a_finding(tmp_path):
+    (tmp_path / "src").mkdir()
+    report = run_lint(tmp_path, select=["rng-streams"])
+    assert any(
+        f.rule == "rng-streams" and "registry" in f.message
+        for f in report.findings
+    )
+
+
+# ----------------------------------------------------------------------
+# cache-key (mutation-proof)
+# ----------------------------------------------------------------------
+def _drop_field_from_canon(field_name: str) -> str:
+    """Real parallel.py with ``spec.<field>`` removed from the canon."""
+    tree = ast.parse((ROOT / PARALLEL).read_text())
+    dropped = 0
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "repr"
+            and node.args
+            and isinstance(node.args[0], ast.Tuple)
+        ):
+            elts = node.args[0].elts
+            keep = [
+                e
+                for e in elts
+                if not (
+                    isinstance(e, ast.Attribute) and e.attr == field_name
+                )
+            ]
+            dropped += len(elts) - len(keep)
+            node.args[0].elts = keep
+    assert dropped == 1, f"canon tuple does not mention spec.{field_name}"
+    return ast.unparse(tree)
+
+
+@pytest.mark.parametrize("field_name", CELLSPEC_FIELDS)
+def test_cache_key_rule_catches_any_dropped_canon_field(field_name):
+    report = run_lint(
+        ROOT,
+        select=["cache-key"],
+        overlay={PARALLEL: _drop_field_from_canon(field_name)},
+    )
+    assert any(
+        f.rule == "cache-key"
+        and f.path == PARALLEL
+        and f"{field_name!r} is missing from the cache_key canon" in f.message
+        for f in report.findings
+    ), report.findings
+
+
+def test_cache_key_rule_catches_partial_template_key():
+    source = (ROOT / PARALLEL).read_text()
+    wanted = "key = replace(spec.normalized(), seed=0)"
+    assert wanted in source
+    mutated = source.replace(
+        wanted, "key = (spec.algorithm, spec.n_nodes)"
+    )
+    report = run_lint(
+        ROOT, select=["cache-key"], overlay={PARALLEL: mutated}
+    )
+    missing = {
+        m
+        for f in report.findings
+        for m in CELLSPEC_FIELDS
+        if f"{m!r} is missing from the warm-template lookup key" in f.message
+    }
+    # every field except the two kept and the seed (exempt by design)
+    assert missing == set(CELLSPEC_FIELDS) - {"algorithm", "n_nodes", "seed"}
+
+
+def test_cache_key_rule_catches_dropped_doc_field():
+    source = (ROOT / CACHE).read_text()
+    wanted = '"workload": '
+    assert wanted in source
+    mutated = source.replace(wanted, '"work_load": ')
+    report = run_lint(ROOT, select=["cache-key"], overlay={CACHE: mutated})
+    messages = " | ".join(f.message for f in report.findings)
+    assert "'workload' is missing from the embedded cell document" in messages
+    assert "'work_load' is not a CellSpec field" in messages
+
+
+def test_cache_key_rule_catches_lost_template_key_derivation():
+    source = (ROOT / BATCH).read_text()
+    wanted = "self.key = spec"
+    assert wanted in source
+    mutated = source.replace(wanted, "self.key = spec.algorithm")
+    report = run_lint(ROOT, select=["cache-key"], overlay={BATCH: mutated})
+    assert any(
+        f.rule == "cache-key" and "CellTemplate.key" in f.message
+        for f in report.findings
+    )
+
+
+# ----------------------------------------------------------------------
+# counter-registry
+# ----------------------------------------------------------------------
+def test_counter_registry_flags_undeclared_reserved_name():
+    overlay = {
+        "src/repro/experiments/fake.py": 'BAD = extra["si_bogus_counter"]\n'
+    }
+    report = run_lint(ROOT, select=["counter-registry"], overlay=overlay)
+    assert _lines(report, "counter-registry", "fake.py") == [1]
+
+
+def test_counter_registry_ignores_prose_and_exports():
+    overlay = {
+        "src/repro/experiments/fake.py": (
+            '"""si_cow_clones and si_bogus notes."""\n'
+            '__all__ = ["si_state"]\n'
+            'DOC = "si_ prefixed counters are reserved"\n'
+        )
+    }
+    report = run_lint(ROOT, select=["counter-registry"], overlay=overlay)
+    assert not _lines(report, "counter-registry", "fake.py")
+
+
+def test_counter_registry_requires_profile_to_import_registry():
+    source = (ROOT / "benchmarks/bench_profile.py").read_text()
+    mutated = source.replace(
+        "from repro.metrics.counters import PROFILE_COUNTER_KEYS as COUNTER_KEYS",
+        "COUNTER_KEYS = ('exchanges',)",
+    )
+    assert mutated != source
+    report = run_lint(
+        ROOT,
+        select=["counter-registry"],
+        overlay={"benchmarks/bench_profile.py": mutated},
+    )
+    assert any(
+        "must import PROFILE_COUNTER_KEYS" in f.message
+        for f in report.findings
+    )
+
+
+def test_counter_mutation_emitter_typo_is_caught():
+    # The scenario the rule exists for: an emitter typo-forks a name.
+    path = "src/repro/core/node.py"
+    source = (ROOT / path).read_text()
+    mutated = source.replace('"si_cow_clones"', '"si_cow_clone"', 1)
+    assert mutated != source
+    report = run_lint(ROOT, select=["counter-registry"], overlay={path: mutated})
+    assert any(
+        "'si_cow_clone'" in f.message and f.path == path
+        for f in report.findings
+    )
+
+
+# ----------------------------------------------------------------------
+# wire-protocol
+# ----------------------------------------------------------------------
+def test_wire_protocol_flags_handwritten_paths():
+    overlay = {
+        "src/repro/experiments/fake.py": (
+            'A = "/v1/claim"\n'
+            'B = f"/v1/cells/{key}"\n'
+            'HELP = "see /v1/stats for details"\n'  # mid-string: fine
+        )
+    }
+    report = run_lint(ROOT, select=["wire-protocol"], overlay=overlay)
+    assert _lines(report, "wire-protocol", "fake.py") == [1, 2]
+
+
+def test_wire_protocol_flags_redeclared_version():
+    overlay = {"src/repro/experiments/fake.py": "PROTOCOL_VERSION = 2\n"}
+    report = run_lint(ROOT, select=["wire-protocol"], overlay=overlay)
+    assert any(
+        "re-declared" in f.message and f.path.endswith("fake.py")
+        for f in report.findings
+    )
+
+
+def test_wire_protocol_flags_unsorted_reply_json():
+    path = "src/repro/experiments/service.py"
+    source = (ROOT / path).read_text()
+    mutated = source.replace(
+        "json.dumps(payload, sort_keys=True)", "json.dumps(payload)"
+    )
+    assert mutated != source
+    report = run_lint(ROOT, select=["wire-protocol"], overlay={path: mutated})
+    assert any(
+        "sort_keys" in f.message and f.path == path for f in report.findings
+    )
+
+
+# ----------------------------------------------------------------------
+# pragma hygiene + parse errors
+# ----------------------------------------------------------------------
+def test_stale_pragma_is_flagged_on_full_runs():
+    overlay = {
+        "src/repro/experiments/fake.py": (
+            "x = 1  # repro-lint: allow(determinism) -- suppresses nothing\n"
+        )
+    }
+    report = run_lint(ROOT, overlay=overlay)
+    assert any(
+        f.rule == "pragma"
+        and f.path.endswith("fake.py")
+        and "suppresses nothing" in f.message
+        for f in report.findings
+    )
+
+
+def test_unknown_rule_in_pragma_is_flagged():
+    overlay = {
+        "src/repro/experiments/fake.py": (
+            "import time\n"
+            "x = time.time()  # repro-lint: allow(detreminism) -- typo\n"
+        )
+    }
+    report = run_lint(ROOT, select=["determinism"], overlay=overlay)
+    assert any(
+        f.rule == "pragma" and "unknown rule" in f.message
+        for f in report.findings
+    )
+    # and the typo'd pragma must NOT have suppressed the violation
+    assert any(
+        f.rule == "determinism" and f.path.endswith("fake.py")
+        for f in report.findings
+    )
+
+
+def test_unparseable_file_is_reported_not_crashed():
+    overlay = {"src/repro/experiments/fake.py": "def broken(:\n"}
+    report = run_lint(ROOT, select=["determinism"], overlay=overlay)
+    assert any(f.rule == "parse" for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# self-check + CLI
+# ----------------------------------------------------------------------
+def test_shipped_tree_lints_clean():
+    report = run_lint(ROOT)
+    assert report.ok, "\n".join(f.render() for f in report.findings)
+    # every suppression in the tree carries a recorded justification
+    assert report.suppressed, "expected at least one pragma'd wall-clock site"
+
+
+def _cli(*args, cwd=ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_cli_clean_tree_exits_zero_with_json(tmp_path):
+    out = tmp_path / "findings.json"
+    proc = _cli("--json", "--output", str(out))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["ok"] is True and doc["version"] == 1
+    assert json.loads(out.read_text())["ok"] is True
+
+
+def test_cli_findings_exit_one():
+    proc = _cli(
+        "--root",
+        str(FIXTURES / "determinism"),
+        "--select",
+        "determinism",
+    )
+    assert proc.returncode == 1
+    assert "determinism" in proc.stdout
+
+
+def test_cli_unknown_rule_exits_two():
+    proc = _cli("--select", "no-such-rule")
+    assert proc.returncode == 2
+
+
+def test_cli_list_rules_names_all_five():
+    proc = _cli("--list-rules")
+    assert proc.returncode == 0
+    for rid in (
+        "cache-key",
+        "counter-registry",
+        "determinism",
+        "rng-streams",
+        "wire-protocol",
+    ):
+        assert rid in proc.stdout

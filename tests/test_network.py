@@ -166,3 +166,40 @@ def test_weighted_units_accumulate(world):
     net.send(0, 1, Fat())
     net.send(0, 1, Ping())
     assert net.stats.weighted_units == 11
+
+
+def test_seedless_network_raises_on_first_stochastic_draw():
+    # Regression: the old fallback silently used a shared Random(0),
+    # decoupling stochastic delays from the experiment's seed tree.
+    from repro.net.delay import UniformDelay
+    from repro.net.network import SeedlessNetworkError
+
+    sim = Simulator()
+    net = Network(sim, delay_model=UniformDelay(1.0, 9.0))  # allowed: no draw yet
+
+    class Sink(Actor):
+        def deliver(self, src, message):
+            pass
+
+    for i in range(2):
+        net.register(Sink(i))
+    # The delay is sampled at send time: the very first draw raises.
+    with pytest.raises(SeedlessNetworkError, match="seed tree"):
+        net.send(0, 1, Message())
+
+
+def test_seedless_network_fine_for_constant_delays():
+    sim = Simulator()
+    net = Network(sim)  # ConstantDelay default never draws
+
+    class Sink(Actor):
+        received = None
+
+        def deliver(self, src, message):
+            pass
+
+    for i in range(2):
+        net.register(Sink(i))
+    net.send(0, 1, Message())
+    sim.run()
+    assert net.stats.delivered_total == 1

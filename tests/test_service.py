@@ -368,3 +368,33 @@ def test_campaign_cli_rejects_malformed_server_url(tmp_path):
                 str(tmp_path / "out"),
             ]
         )
+
+
+def test_lease_arbitration_survives_wall_clock_jumps(monkeypatch):
+    # Regression: leases used to expire against time.time(); an NTP
+    # step (or suspended host) then expired or immortalized every
+    # lease at once.  Arbitration must run on the monotonic clock.
+    import time
+
+    from repro.experiments.backends import MemoryBackend
+    from repro.experiments.service import _ServiceState
+
+    state = _ServiceState(MemoryBackend())
+    assert state.claim("k", "alice", ttl=30.0)["granted"]
+    monkeypatch.setattr(time, "time", lambda: 4e12)  # jump far forward
+    assert not state.claim("k", "bob", ttl=30.0)["granted"]
+    assert state.renew("k", "alice", ttl=30.0)["renewed"]
+    stats = state.stats()
+    assert [lease["key"] for lease in stats["leases"]] == ["k"]
+    assert stats["uptime_seconds"] < 1e6
+
+
+def test_wire_replies_use_deterministic_key_order(server):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+    try:
+        conn.request("GET", f"{API_PREFIX}/stats")
+        body = conn.getresponse().read().decode("utf-8")
+    finally:
+        conn.close()
+    doc = json.loads(body)
+    assert body == json.dumps(doc, sort_keys=True)
