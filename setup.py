@@ -39,6 +39,10 @@ setup(
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
     },
     entry_points={
-        "console_scripts": ["repro=repro.cli:main"],
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-lint=repro.lint.__main__:main",
+            "repro-verify=repro.verify.__main__:main",
+        ],
     },
 )

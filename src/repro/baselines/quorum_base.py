@@ -26,7 +26,25 @@ binary-tree paths — and is validated as a coterie at construction.
 
 Requests are tagged with ``(ts, id, seq)`` so that messages from an
 earlier request of the same node (possible under non-FIFO delivery)
-are recognized and ignored.
+are recognized and ignored.  That alone is not enough under non-FIFO
+channels: ``repro.verify`` found two reorderings *within* a single
+request that break the protocol —
+
+* a FAILED sent while the request was queued can overtake the LOCKED
+  the arbiter granted later, making the requester discard a vote the
+  arbiter still holds for it (permanent deadlock);
+* an INQUIRE can overtake its own LOCKED, making the requester
+  relinquish a vote it has not yet seen; when the stale LOCKED
+  finally lands the requester counts a vote the arbiter has since
+  granted to a competitor (mutual-exclusion breach).
+
+Both are closed by versioning grants: every LOCKED/INQUIRE carries a
+per-arbiter ``grant_no``, the requester echoes it in RELINQUISH (and
+remembers which grants it already returned, so a late LOCKED for a
+relinquished grant is dropped), and an arbiter ignores a RELINQUISH
+whose number does not match its current grant.  A FAILED from an
+arbiter whose vote the requester currently holds is likewise provably
+stale — an arbiter never fails its own grantee — and is ignored.
 """
 
 from __future__ import annotations
@@ -56,11 +74,12 @@ class QmRequest(Message):
 
 class QmLocked(Message):
     kind = "LOCKED"
-    __slots__ = ("seq",)
+    __slots__ = ("seq", "grant_no")
 
-    def __init__(self, seq: int) -> None:
+    def __init__(self, seq: int, grant_no: int) -> None:
         super().__init__()
         self.seq = seq
+        self.grant_no = grant_no
 
 
 class QmFailed(Message):
@@ -74,20 +93,22 @@ class QmFailed(Message):
 
 class QmInquire(Message):
     kind = "INQUIRE"
-    __slots__ = ("seq",)
+    __slots__ = ("seq", "grant_no")
 
-    def __init__(self, seq: int) -> None:
+    def __init__(self, seq: int, grant_no: int) -> None:
         super().__init__()
         self.seq = seq
+        self.grant_no = grant_no
 
 
 class QmRelinquish(Message):
     kind = "RELINQUISH"
-    __slots__ = ("seq",)
+    __slots__ = ("seq", "grant_no")
 
-    def __init__(self, seq: int) -> None:
+    def __init__(self, seq: int, grant_no: int) -> None:
         super().__init__()
         self.seq = seq
+        self.grant_no = grant_no
 
 
 class QmRelease(Message):
@@ -102,12 +123,15 @@ class QmRelease(Message):
 class _Grant:
     """Arbiter-side record of the currently locked request."""
 
-    __slots__ = ("priority", "origin", "seq", "inquired")
+    __slots__ = ("priority", "origin", "seq", "no", "inquired")
 
-    def __init__(self, priority: Priority, origin: int, seq: int) -> None:
+    def __init__(
+        self, priority: Priority, origin: int, seq: int, no: int
+    ) -> None:
         self.priority = priority
         self.origin = origin
         self.seq = seq
+        self.no = no
         self.inquired = False
 
 
@@ -140,9 +164,14 @@ class QuorumMutexNode(MutexNode):
         self.seq = 0  # distinguishes this node's successive requests
         self._voted_for_me: Set[int] = set()
         self._saw_failed = False
-        self._held_inquiries: List[int] = []  # arbiter ids to answer
+        #: inquiries held for later: (arbiter id, grant number) pairs
+        self._held_inquiries: List[Tuple[int, int]] = []
+        #: grants already returned this request: (arbiter, grant_no);
+        #: a LOCKED matching an entry here is a stale reordered copy
+        self._relinquished: Set[Tuple[int, int]] = set()
         # --- arbiter state --------------------------------------------
         self._lock: Optional[_Grant] = None
+        self._grant_no = 0  # versions this arbiter's successive grants
         self._waiting: List[Tuple[Priority, int, int]] = []  # heap
         #: requests already told they are outranked (one FAILED each)
         self._failed_notified: Set[Tuple[int, int]] = set()
@@ -156,6 +185,7 @@ class QuorumMutexNode(MutexNode):
         self._voted_for_me = set()
         self._saw_failed = False
         self._held_inquiries = []
+        self._relinquished = set()
         ts = self.clock
         for member in sorted(self.quorum):
             if member == self.node_id:
@@ -178,6 +208,9 @@ class QuorumMutexNode(MutexNode):
     def _on_locked(self, src: int, msg: QmLocked) -> None:
         if msg.seq != self.seq or self.state is not NodeState.REQUESTING:
             return  # vote for an already-finished request
+        if (src, msg.grant_no) in self._relinquished:
+            return  # we already returned this grant (LOCKED overtaken
+            # by its own INQUIRE); the arbiter may have re-granted it
         self._voted_for_me.add(src)
         if self._voted_for_me == self.quorum:
             self._saw_failed = False
@@ -186,32 +219,40 @@ class QuorumMutexNode(MutexNode):
     def _on_failed(self, src: int, msg: QmFailed) -> None:
         if msg.seq != self.seq or self.state is not NodeState.REQUESTING:
             return
-        self._voted_for_me.discard(src)
+        if src in self._voted_for_me:
+            # An arbiter never fails its current grantee, so this
+            # FAILED predates the LOCKED we hold — a reordered
+            # leftover from when we sat in the arbiter's queue.
+            return
         self._saw_failed = True
         self._answer_held_inquiries()
 
     def _on_inquire(self, src: int, msg: QmInquire) -> None:
         if msg.seq != self.seq or self.state is not NodeState.REQUESTING:
             return  # stale inquire (we already entered or released)
+        if (src, msg.grant_no) in self._relinquished:
+            return  # already answered for this grant
         if self._saw_failed:
-            self._relinquish_to(src)
+            self._relinquish_to(src, msg.grant_no)
         else:
             # Outcome unknown: hold the inquiry until a FAILED arrives
             # (then relinquish) or we enter the CS (then the RELEASE
             # settles it).
-            self._held_inquiries.append(src)
+            self._held_inquiries.append((src, msg.grant_no))
 
     def _answer_held_inquiries(self) -> None:
         held, self._held_inquiries = self._held_inquiries, []
-        for arbiter in held:
-            self._relinquish_to(arbiter)
+        for arbiter, grant_no in held:
+            self._relinquish_to(arbiter, grant_no)
 
-    def _relinquish_to(self, arbiter: int) -> None:
+    def _relinquish_to(self, arbiter: int, grant_no: int) -> None:
         self._voted_for_me.discard(arbiter)
+        self._relinquished.add((arbiter, grant_no))
+        reply = QmRelinquish(self.seq, grant_no)
         if arbiter == self.node_id:
-            self._arbiter_relinquish(self.node_id, QmRelinquish(self.seq))
+            self._arbiter_relinquish(self.node_id, reply)
         else:
-            self.env.send(self.node_id, arbiter, QmRelinquish(self.seq))
+            self.env.send(self.node_id, arbiter, reply)
 
     # ------------------------------------------------------------------
     # arbiter side
@@ -240,6 +281,8 @@ class QuorumMutexNode(MutexNode):
         grant = self._lock
         if grant is None or grant.origin != src or grant.seq != msg.seq:
             return  # stale relinquish
+        if grant.no != msg.grant_no:
+            return  # answers a grant we already replaced
         # The vote returns; the relinquished request rejoins the queue.
         # It already knows it failed (that is why it relinquished), so
         # mark it notified to avoid a redundant FAILED.
@@ -267,8 +310,9 @@ class QuorumMutexNode(MutexNode):
         if self._lock is None and self._waiting:
             prio, origin, seq = heapq.heappop(self._waiting)
             self._failed_notified.discard((origin, seq))
-            self._lock = _Grant(prio, origin, seq)
-            self._send_to_requester(origin, QmLocked(seq))
+            self._grant_no += 1
+            self._lock = _Grant(prio, origin, seq, self._grant_no)
+            self._send_to_requester(origin, QmLocked(seq, self._grant_no))
         if self._lock is None:
             return
         head = self._waiting[0] if self._waiting else None
@@ -276,7 +320,8 @@ class QuorumMutexNode(MutexNode):
             if not self._lock.inquired:
                 self._lock.inquired = True
                 self._send_to_requester(
-                    self._lock.origin, QmInquire(self._lock.seq)
+                    self._lock.origin,
+                    QmInquire(self._lock.seq, self._lock.no),
                 )
         for prio, origin, seq in self._waiting:
             is_best_pending = (

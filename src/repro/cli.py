@@ -12,6 +12,7 @@
     repro-mutex cell-server [--port 8400] [--store dir:PATH]
     repro-mutex campaign-status --server URL
     repro-mutex run --algorithm rcv --nodes 20 --workload burst
+    repro-mutex verify --algo rcv --n 3
     repro-mutex list
 
 ``--paper-scale`` restores the paper's full parameters (N up to 50,
@@ -272,6 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(
         "--trace", action="store_true", help="print the first 60 trace events"
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help=(
+            "exhaustively model-check the protocol core "
+            "(passthrough to python -m repro.verify)"
+        ),
+    )
+    # Forwarded args are split off in main() before parsing: argparse's
+    # REMAINDER does not accept leading optionals (``verify --algo ...``).
+    verify.add_argument(
+        "verify_args",
+        nargs="*",
+        help="arguments forwarded to repro.verify (try: verify --help)",
     )
 
     sub.add_parser("list", help="list registered algorithms")
@@ -791,7 +807,12 @@ def _cmd_list(_args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "verify":
+        from repro.verify.__main__ import main as verify_main
+
+        return verify_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.command in ("fig4", "fig5", "fig6", "fig7"):
         return _cmd_figure(args)
     if args.command == "theory":

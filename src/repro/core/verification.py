@@ -26,7 +26,12 @@ from repro.core.exchange import is_consistent_order
 from repro.core.node import RCVNode
 from repro.core.tuples import ReqTuple
 
-__all__ = ["LemmaMonitor", "check_system", "merge_global_order"]
+__all__ = [
+    "LemmaMonitor",
+    "check_system",
+    "extend_before_pairs",
+    "merge_global_order",
+]
 
 
 def merge_global_order(
@@ -95,6 +100,34 @@ def check_system(nodes: Sequence[RCVNode]) -> None:
                 seen.add(t.node)
 
 
+def extend_before_pairs(before, nonl, *, who: str = "") -> set:
+    """Check one NONL against an accumulated before-pair ledger.
+
+    ``before`` holds ordered pairs ``(x, y)`` — *x strictly before y*
+    — witnessed in earlier NONL observations; these are the only
+    cross-time constraints the protocol asserts (disjoint NONLs impose
+    no mutual order).  Returns the pairs ``nonl`` adds, raising
+    :class:`ProtocolInvariantError` if it reverses a witnessed pair.
+    The caller owns merging the returned pairs into its ledger —
+    :class:`LemmaMonitor` updates one set in place across a
+    trajectory, while the model checker (``repro.verify``) keeps one
+    immutable ledger per exploration path.
+    """
+    new = set()
+    for i, x in enumerate(nonl):
+        for y in nonl[i + 1 :]:
+            if (y, x) in before:
+                raise ProtocolInvariantError(
+                    f"commit order reversed across time: "
+                    f"{y.describe()} before {x.describe()} was "
+                    f"witnessed earlier, but {who or 'a node'} "
+                    f"now orders {x.describe()} first"
+                )
+            if (x, y) not in before:
+                new.add((x, y))
+    return new
+
+
 class LemmaMonitor:
     """Periodic whole-system lemma checking during a simulation.
 
@@ -147,14 +180,8 @@ class LemmaMonitor:
         even in snapshots taken at different times — is a violation
         that instantaneous pairwise checks cannot see."""
         for node in self.nodes:
-            nonl = node.si.nonl
-            for i, x in enumerate(nonl):
-                for y in nonl[i + 1 :]:
-                    if (y, x) in self._before:
-                        raise ProtocolInvariantError(
-                            f"commit order reversed across time: "
-                            f"{y.describe()} before {x.describe()} was "
-                            f"witnessed earlier, but node {node.node_id} "
-                            f"now orders {x.describe()} first"
-                        )
-                    self._before.add((x, y))
+            self._before |= extend_before_pairs(
+                self._before,
+                node.si.nonl,
+                who=f"node {node.node_id}",
+            )

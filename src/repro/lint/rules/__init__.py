@@ -7,5 +7,6 @@ from repro.lint.rules import (  # noqa: F401
     counters,
     determinism,
     rng_streams,
+    state_canon,
     wire_protocol,
 )

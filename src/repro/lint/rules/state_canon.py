@@ -1,0 +1,289 @@
+"""Rule ``state-canon`` — every node attribute is fingerprinted or
+explicitly excluded.
+
+The model checker (``repro.verify``) merges two system states when
+their canonical fingerprints collide.  A mutable attribute that is
+assigned in a node's ``__init__`` chain (or a ``SystemInfo`` slot)
+but missing from the checker's canon table makes two *different*
+states hash equal — the search silently skips reachable states and
+"verifies" a space it never explored.  The runtime guard
+(``assert_canon_complete``) catches missing attributes when a model
+is constructed; this rule catches the same drift statically, and
+additionally checks what the runtime cannot: that excluded entries
+carry a non-empty justification, and that no table entry has gone
+stale (naming an attribute the implementation no longer assigns).
+
+Cross-checked, by AST, per state-bearing class:
+
+1. ``SystemInfo.__slots__`` (``core/state.py``) against
+   ``SYSTEMINFO_CANON`` / ``SYSTEMINFO_EXCLUDED``;
+2. ``RCVNode`` — the union of ``Actor.__init__``,
+   ``MutexNode.__init__`` and ``RCVNode.__init__`` self-assignments —
+   against ``RCV_NODE_CANON`` / ``RCV_NODE_EXCLUDED``;
+3. ``RicartAgrawalaNode`` likewise against the ``RA_NODE_*`` tables;
+4. ``QuorumMutexNode`` likewise against the ``QUORUM_NODE_*`` tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+RULE_ID = "state-canon"
+
+FINGERPRINT = "src/repro/verify/fingerprint.py"
+STATE = "src/repro/core/state.py"
+PROCESS = "src/repro/sim/process.py"
+MUTEX_BASE = "src/repro/mutex/base.py"
+NODE = "src/repro/core/node.py"
+RICART = "src/repro/baselines/ricart_agrawala.py"
+QUORUM = "src/repro/baselines/quorum_base.py"
+
+#: the __init__ chain whose self-assignments every mutex node inherits
+_BASE_CHAIN: List[Tuple[str, str]] = [
+    (PROCESS, "Actor"),
+    (MUTEX_BASE, "MutexNode"),
+]
+
+#: (canon table, excluded table, leaf class chain) per checked class
+_TABLES: List[Tuple[str, str, List[Tuple[str, str]]]] = [
+    ("RCV_NODE_CANON", "RCV_NODE_EXCLUDED", _BASE_CHAIN + [(NODE, "RCVNode")]),
+    (
+        "RA_NODE_CANON",
+        "RA_NODE_EXCLUDED",
+        _BASE_CHAIN + [(RICART, "RicartAgrawalaNode")],
+    ),
+    (
+        "QUORUM_NODE_CANON",
+        "QUORUM_NODE_EXCLUDED",
+        _BASE_CHAIN + [(QUORUM, "QuorumMutexNode")],
+    ),
+]
+
+
+def _find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _module_dict(tree: ast.AST, name: str) -> Optional[ast.Dict]:
+    """The ``name = {...}`` module-level dict literal, if present."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
+        ):
+            if isinstance(node.value, ast.Dict):
+                return node.value
+            return None
+    return None
+
+
+def _dict_keys(table: ast.Dict) -> Set[str]:
+    return {
+        k.value
+        for k in table.keys
+        if isinstance(k, ast.Constant) and isinstance(k.value, str)
+    }
+
+
+def _init_self_attrs(cls: ast.ClassDef) -> Optional[Set[str]]:
+    """Attributes assigned as ``self.<attr>`` in ``__init__``."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            attrs: Set[str] = set()
+            for sub in ast.walk(stmt):
+                targets: List[ast.AST] = []
+                if isinstance(sub, ast.Assign):
+                    targets = list(sub.targets)
+                elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [sub.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+            return attrs
+    return None
+
+
+def _slots_literal(cls: ast.ClassDef) -> Optional[Set[str]]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__slots__"
+            for t in stmt.targets
+        ):
+            if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                return {
+                    e.value
+                    for e in stmt.value.elts
+                    if isinstance(e, ast.Constant)
+                    and isinstance(e.value, str)
+                }
+            return None
+    return None
+
+
+def _compare(
+    attrs: Set[str],
+    canon_name: str,
+    canon: ast.Dict,
+    excluded_name: str,
+    excluded: ast.Dict,
+    *,
+    what: str,
+) -> Iterator[Finding]:
+    canon_keys = _dict_keys(canon)
+    excluded_keys = _dict_keys(excluded)
+    for attr in sorted(attrs - canon_keys - excluded_keys):
+        yield Finding(
+            path=FINGERPRINT,
+            line=canon.lineno,
+            col=canon.col_offset,
+            rule=RULE_ID,
+            message=(
+                f"{what} attribute {attr!r} is in neither {canon_name} "
+                f"nor {excluded_name} — two states differing only in "
+                "that attribute would fingerprint equal and the checker "
+                "would silently skip reachable states"
+            ),
+        )
+    for attr in sorted(canon_keys & excluded_keys):
+        yield Finding(
+            path=FINGERPRINT,
+            line=excluded.lineno,
+            col=excluded.col_offset,
+            rule=RULE_ID,
+            message=(
+                f"{what} attribute {attr!r} appears in both "
+                f"{canon_name} and {excluded_name} — pick one"
+            ),
+        )
+    for table_name, table, keys in (
+        (canon_name, canon, canon_keys),
+        (excluded_name, excluded, excluded_keys),
+    ):
+        for attr in sorted(keys - attrs):
+            yield Finding(
+                path=FINGERPRINT,
+                line=table.lineno,
+                col=table.col_offset,
+                rule=RULE_ID,
+                message=(
+                    f"{table_name} entry {attr!r} is stale — {what} no "
+                    "longer assigns that attribute"
+                ),
+            )
+    for key, value in zip(excluded.keys, excluded.values):
+        if not (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value.strip()
+        ):
+            name = key.value if isinstance(key, ast.Constant) else "<key>"
+            yield Finding(
+                path=FINGERPRINT,
+                line=value.lineno,
+                col=value.col_offset,
+                rule=RULE_ID,
+                message=(
+                    f"{excluded_name} entry {name!r} has no justification "
+                    "string — excluding state from the fingerprint is a "
+                    "soundness claim and must say why it is safe"
+                ),
+            )
+
+
+def _anchor_missing(path: str, message: str) -> Finding:
+    return Finding(path=path, line=0, col=0, rule=RULE_ID, message=message)
+
+
+@rule(RULE_ID, "every node/SI attribute is fingerprinted or justified")
+def check(ctx: LintContext) -> Iterator[Finding]:
+    ftree = ctx.tree(FINGERPRINT)
+    if ftree is None:
+        yield _anchor_missing(
+            FINGERPRINT, "anchor file missing or unparseable (canon tables)"
+        )
+        return
+
+    # -- SystemInfo slots ----------------------------------------------
+    stree = ctx.tree(STATE)
+    si_canon = _module_dict(ftree, "SYSTEMINFO_CANON")
+    si_excluded = _module_dict(ftree, "SYSTEMINFO_EXCLUDED")
+    if si_canon is None or si_excluded is None:
+        yield _anchor_missing(
+            FINGERPRINT,
+            "SYSTEMINFO_CANON / SYSTEMINFO_EXCLUDED are no longer "
+            "module-level dict literals — update the state-canon rule "
+            "alongside the fingerprint implementation",
+        )
+    elif stree is None:
+        yield _anchor_missing(
+            STATE, "anchor file missing or unparseable (SystemInfo home)"
+        )
+    else:
+        si_cls = _find_class(stree, "SystemInfo")
+        slots = _slots_literal(si_cls) if si_cls is not None else None
+        if slots is None:
+            yield _anchor_missing(
+                STATE,
+                "SystemInfo.__slots__ is no longer a literal tuple — "
+                "update the state-canon rule alongside it",
+            )
+        else:
+            yield from _compare(
+                slots,
+                "SYSTEMINFO_CANON",
+                si_canon,
+                "SYSTEMINFO_EXCLUDED",
+                si_excluded,
+                what="SystemInfo",
+            )
+
+    # -- the node classes ----------------------------------------------
+    for canon_name, excluded_name, chain in _TABLES:
+        canon = _module_dict(ftree, canon_name)
+        excluded = _module_dict(ftree, excluded_name)
+        if canon is None or excluded is None:
+            yield _anchor_missing(
+                FINGERPRINT,
+                f"{canon_name} / {excluded_name} are no longer "
+                "module-level dict literals — update the state-canon "
+                "rule alongside the fingerprint implementation",
+            )
+            continue
+        attrs: Set[str] = set()
+        broken = False
+        for relpath, cls_name in chain:
+            tree = ctx.tree(relpath)
+            cls = _find_class(tree, cls_name) if tree is not None else None
+            cls_attrs = _init_self_attrs(cls) if cls is not None else None
+            if cls_attrs is None:
+                yield _anchor_missing(
+                    relpath,
+                    f"{cls_name}.__init__ not found — the state-canon "
+                    "rule cannot enumerate its state; update the rule "
+                    "alongside the refactor",
+                )
+                broken = True
+                break
+            attrs |= cls_attrs
+        if broken:
+            continue
+        leaf = chain[-1][1]
+        yield from _compare(
+            attrs,
+            canon_name,
+            canon,
+            excluded_name,
+            excluded,
+            what=leaf,
+        )

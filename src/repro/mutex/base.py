@@ -28,7 +28,25 @@ from repro.net.network import Network
 from repro.sim.kernel import Handle, Simulator
 from repro.sim.process import Actor
 
-__all__ = ["Env", "Hooks", "MutexNode", "NodeState", "SimEnv"]
+__all__ = [
+    "Env",
+    "Hooks",
+    "MutexNode",
+    "NodeState",
+    "ProtocolStateError",
+    "SimEnv",
+]
+
+
+class ProtocolStateError(RuntimeError):
+    """The node state machine was driven through an illegal edge.
+
+    Subclasses :class:`RuntimeError` for compatibility with existing
+    callers; the distinct type lets tooling that executes the protocol
+    under adversarial schedules (the ``repro.verify`` model checker)
+    classify a state-machine breach — e.g. a double grant — as a
+    protocol violation rather than an infrastructure failure.
+    """
 
 
 class NodeState(enum.Enum):
@@ -159,7 +177,7 @@ class MutexNode(Actor):
         allows one outstanding request per node).
         """
         if self.state is not NodeState.IDLE:
-            raise RuntimeError(
+            raise ProtocolStateError(
                 f"node {self.node_id} requested CS while {self.state.value}"
             )
         self.state = NodeState.REQUESTING
@@ -169,7 +187,7 @@ class MutexNode(Actor):
     def release_cs(self) -> None:
         """Leave the critical section."""
         if self.state is not NodeState.IN_CS:
-            raise RuntimeError(
+            raise ProtocolStateError(
                 f"node {self.node_id} released CS while {self.state.value}"
             )
         self.state = NodeState.IDLE
@@ -183,7 +201,7 @@ class MutexNode(Actor):
     def _grant(self) -> None:
         """Called by the subclass when the CS is won."""
         if self.state is not NodeState.REQUESTING:
-            raise RuntimeError(
+            raise ProtocolStateError(
                 f"node {self.node_id} granted CS while {self.state.value}"
             )
         self.state = NodeState.IN_CS

@@ -13,9 +13,27 @@ from __future__ import annotations
 import itertools
 from typing import ClassVar
 
-__all__ = ["Message"]
+__all__ = ["Message", "payload_fields"]
 
 _msg_counter = itertools.count(1)
+
+
+def payload_fields(message_type) -> tuple:
+    """Sorted names of a message type's payload slots.
+
+    Walks ``__slots__`` across the whole MRO so subclass fields and
+    inherited ones (e.g. the RCV snapshot mixin's ``si``) are both
+    included, and drops ``msg_id`` — the process-global construction
+    counter is envelope bookkeeping, not payload.  Used by tooling
+    that needs the *semantic* content of a message (the ``repro.verify``
+    fingerprints); a field added to any message subclass shows up here
+    automatically.
+    """
+    names = set()
+    for klass in message_type.__mro__:
+        names.update(getattr(klass, "__slots__", ()))
+    names.discard("msg_id")
+    return tuple(sorted(names))
 
 
 class Message:

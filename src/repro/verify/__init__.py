@@ -1,0 +1,36 @@
+"""Explicit-state model checking of the protocol core.
+
+``repro.verify`` enumerates *every* delivery interleaving of a small
+system (N=2..4) and checks the paper's safety claims in each reachable
+state — mutual exclusion, deadlock/stuck-freedom, and the Lemma 1/7 /
+commit-order invariants promoted out of
+:class:`repro.core.verification.LemmaMonitor`.  Where the simulator
+samples seeded trajectories, the checker proves the invariants over
+the full state space (or emits a minimal, deterministically
+replayable counterexample schedule).
+
+Entry points:
+
+* ``python -m repro.verify --algo rcv --n 3`` — CLI (see
+  :mod:`repro.verify.__main__`);
+* :func:`repro.verify.checker.check` — library API;
+* :func:`repro.verify.schedule.replay` — replay an exported
+  counterexample schedule through the engine.
+
+See docs/verification.md for the state model, the reductions and
+their soundness arguments, and the counterexample replay recipe.
+"""
+
+from repro.verify.checker import CheckResult, Checker, Violation, check
+from repro.verify.models import make_model
+from repro.verify.world import VerifyError, World
+
+__all__ = [
+    "CheckResult",
+    "Checker",
+    "Violation",
+    "VerifyError",
+    "World",
+    "check",
+    "make_model",
+]

@@ -1,0 +1,16 @@
+"""Checker-infrastructure failures, distinct from protocol findings.
+
+A :class:`VerifyError` means the *checker itself* cannot proceed —
+an unmodelable feature (timers), an unencodable state attribute, a
+malformed replay schedule.  It always propagates; protocol-level
+exceptions (``ProtocolInvariantError``, ``ProtocolStateError``) are,
+by contrast, *results*: the exploration captures them as violations.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VerifyError"]
+
+
+class VerifyError(Exception):
+    """The model checker hit a condition it cannot explore through."""

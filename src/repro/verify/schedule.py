@@ -1,0 +1,172 @@
+"""Counterexample schedules: export, load, deterministic replay.
+
+A schedule is a plain JSON document that pins *everything* the
+engine needs to reproduce one interleaving bit-for-bit:
+
+* the model configuration (algorithm, N, RCV options, planted bug);
+* the world configuration (requests per node, channel semantics,
+  adversary budgets);
+* the step list — one ``{op, arg, choices, note}`` entry per action,
+  where ``arg`` is the node id (request/release) or the envelope uid
+  (deliver/drop/dup) and ``choices`` scripts the internal rng draws;
+* the violation the schedule reaches.
+
+Replayability rests on two determinism facts: envelope uids are
+assigned in execution order (so the uid an exported step names is the
+uid the replay produces), and every hidden nondeterministic draw goes
+through the scripted :class:`~repro.verify.world.ChoiceSource`.
+:func:`replay` re-executes the steps through the production node code
+and re-checks each state, so a schedule is a self-contained failing
+test.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.verification import extend_before_pairs
+from repro.verify.checker import Violation
+from repro.verify.errors import VerifyError
+from repro.verify.models import make_model
+from repro.verify.world import World, describe_action
+
+__all__ = [
+    "SCHEDULE_VERSION",
+    "load_schedule",
+    "replay",
+    "save_schedule",
+    "schedule_dict",
+]
+
+SCHEDULE_VERSION = 1
+
+#: settings keys forwarded to :func:`make_model` on replay
+_MODEL_OPT_KEYS = (
+    "rule",
+    "forwarding",
+    "exchange_on_im",
+    "on_inconsistency",
+    "quorum_system",
+    "planted",
+)
+
+
+def schedule_dict(settings: dict, violation: Violation) -> dict:
+    """Bundle a checker's settings and one violation as a schedule."""
+    return {
+        "version": SCHEDULE_VERSION,
+        "settings": dict(settings),
+        "violation": {
+            "kind": violation.kind,
+            "message": violation.message,
+            "depth": violation.depth,
+        },
+        "steps": list(violation.steps),
+    }
+
+
+def save_schedule(sched: dict, path) -> None:
+    Path(path).write_text(
+        json.dumps(sched, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_schedule(path) -> dict:
+    sched = json.loads(Path(path).read_text(encoding="utf-8"))
+    if sched.get("version") != SCHEDULE_VERSION:
+        raise VerifyError(
+            f"schedule version {sched.get('version')!r} is not "
+            f"{SCHEDULE_VERSION}"
+        )
+    return sched
+
+
+def _world_from_settings(settings: dict) -> World:
+    opts = {
+        k: settings[k]
+        for k in _MODEL_OPT_KEYS
+        if settings.get(k) is not None
+    }
+    model = make_model(settings["algo"], settings["n"], **opts)
+    return World(
+        model,
+        requests=settings.get("requests", 1),
+        fifo=settings.get("channel") == "fifo",
+        drop_budget=settings.get("drop_budget", 0),
+        dup_budget=settings.get("dup_budget", 0),
+    )
+
+
+def replay(sched: dict) -> Optional[Violation]:
+    """Re-execute a schedule; return the first violation it reaches.
+
+    Runs the same checks the exploration that exported the schedule
+    ran (the settings record which were enabled), in the checker's
+    effective order — protocol exceptions and the commit-order ledger
+    fire at transition time, mutual exclusion and the whole-system
+    invariants when the reached state is examined.  Returns ``None``
+    if the schedule completes without any violation — i.e. it does
+    NOT reproduce against this build of the protocol.
+    """
+    settings = sched["settings"]
+    world = _world_from_settings(settings)
+    model = world.model
+    checks = tuple(settings.get("checks", ("me", "lemmas", "ledger")))
+    steps: List[dict] = sched["steps"]
+    before: set = set()
+    for i, step in enumerate(steps):
+        action = (step["op"], step["arg"])
+        enabled = world.enabled_actions()
+        if action not in enabled:
+            raise VerifyError(
+                f"step {i} ({describe_action(world, action)}) is not "
+                f"enabled at this point of the replay — the schedule "
+                f"does not match this protocol build"
+            )
+        out = world.execute(action, script=tuple(step.get("choices", ())))
+        depth = i + 1
+        if out.error is not None:
+            return Violation(
+                "protocol-error",
+                f"{type(out.error).__name__}: {out.error}",
+                steps[:depth],
+                depth,
+            )
+        if "ledger" in checks and model.has_invariants:
+            try:
+                for node in world.nodes:
+                    before |= extend_before_pairs(
+                        before, node.si.nonl, who=f"node {node.node_id}"
+                    )
+            except AssertionError as exc:
+                return Violation(
+                    "commit-order", str(exc), steps[:depth], depth
+                )
+        if "me" in checks and model.mutual_exclusion:
+            holders = world.cs_holders()
+            if len(holders) > 1:
+                return Violation(
+                    "mutual-exclusion",
+                    f"nodes {holders} are in the critical section "
+                    "simultaneously",
+                    steps[:depth],
+                    depth,
+                )
+        if "lemmas" in checks and model.has_invariants:
+            try:
+                model.check_invariants(world.nodes)
+            except AssertionError as exc:
+                return Violation("lemma", str(exc), steps[:depth], depth)
+    if "stuck" in checks and not world.enabled_actions():
+        requesting = world.requesting()
+        if requesting:
+            return Violation(
+                "stuck",
+                f"terminal state with nodes {requesting} still "
+                "REQUESTING (no message can un-wedge them)",
+                list(steps),
+                len(steps),
+            )
+    return None

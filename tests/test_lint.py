@@ -409,7 +409,7 @@ def test_cli_unknown_rule_exits_two():
     assert proc.returncode == 2
 
 
-def test_cli_list_rules_names_all_five():
+def test_cli_list_rules_names_all_six():
     proc = _cli("--list-rules")
     assert proc.returncode == 0
     for rid in (
@@ -417,6 +417,100 @@ def test_cli_list_rules_names_all_five():
         "counter-registry",
         "determinism",
         "rng-streams",
+        "state-canon",
         "wire-protocol",
     ):
         assert rid in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# state-canon (the model checker's fingerprint coverage)
+# ----------------------------------------------------------------------
+FINGERPRINT = "src/repro/verify/fingerprint.py"
+CORE_NODE = "src/repro/core/node.py"
+CORE_STATE = "src/repro/core/state.py"
+
+
+def _state_canon_findings(overlay):
+    report = run_lint(ROOT, select=["state-canon"], overlay=overlay)
+    return [f for f in report.findings if f.rule == "state-canon"]
+
+
+def test_state_canon_catches_new_node_attribute():
+    source = (ROOT / CORE_NODE).read_text()
+    anchor = "self.current_tup: Optional[ReqTuple] = None"
+    assert anchor in source
+    mutated = source.replace(
+        anchor, anchor + "\n        self.shiny_new_state = 0"
+    )
+    findings = _state_canon_findings({CORE_NODE: mutated})
+    assert any(
+        "'shiny_new_state'" in f.message and "RCV_NODE_CANON" in f.message
+        for f in findings
+    ), findings
+
+
+def test_state_canon_catches_new_systeminfo_slot():
+    source = (ROOT / CORE_STATE).read_text()
+    anchor = '"_need_share",'
+    assert anchor in source
+    mutated = source.replace(anchor, anchor + '\n        "_shiny_slot",', 1)
+    findings = _state_canon_findings({CORE_STATE: mutated})
+    assert any(
+        "'_shiny_slot'" in f.message and "SYSTEMINFO_CANON" in f.message
+        for f in findings
+    ), findings
+
+
+def test_state_canon_catches_dropped_canon_entry():
+    source = (ROOT / FINGERPRINT).read_text()
+    anchor = '"_parked": _enc_parked,'
+    assert anchor in source
+    findings = _state_canon_findings(
+        {FINGERPRINT: source.replace(anchor, "")}
+    )
+    assert any(
+        "'_parked'" in f.message and "neither RCV_NODE_CANON" in f.message
+        for f in findings
+    ), findings
+
+
+def test_state_canon_catches_stale_table_entry():
+    source = (ROOT / FINGERPRINT).read_text()
+    anchor = '"_parked": _enc_parked,'
+    assert anchor in source
+    mutated = source.replace(
+        anchor, anchor + '\n    "ghost_attr": int,'
+    )
+    findings = _state_canon_findings({FINGERPRINT: mutated})
+    assert any(
+        "'ghost_attr'" in f.message and "stale" in f.message
+        for f in findings
+    ), findings
+
+
+def test_state_canon_requires_exclusion_justification():
+    source = (ROOT / FINGERPRINT).read_text()
+    anchor = '"_fwd_rng"'
+    assert anchor in source
+    # Blank out the justification string of one excluded entry.
+    start = source.index(anchor)
+    colon = source.index(":", start)
+    end = source.index(",\n", colon)
+    mutated = source[: colon + 1] + ' ""' + source[end:]
+    findings = _state_canon_findings({FINGERPRINT: mutated})
+    assert any(
+        "'_fwd_rng'" in f.message and "justification" in f.message
+        for f in findings
+    ), findings
+
+
+def test_state_canon_missing_anchor_is_itself_a_finding():
+    source = (ROOT / FINGERPRINT).read_text()
+    mutated = source.replace("QUORUM_NODE_CANON = {", "QUORUM_TBL = {", 1)
+    findings = _state_canon_findings({FINGERPRINT: mutated})
+    assert any(
+        "QUORUM_NODE_CANON" in f.message
+        and "no longer module-level dict literals" in f.message
+        for f in findings
+    ), findings
