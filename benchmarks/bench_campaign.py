@@ -38,10 +38,18 @@ The ``faults`` section runs the canonical fault grid (drop/dup/
 reorder intensities, a halving partition, a crash — see
 ``repro.experiments.figures.fault_grid``) at N in {50, 100, 200} for
 RCV vs Maekawa and records NME, mean sync delay, and completion rate
-per point.  ``test_campaign_fault_smoke`` is its CI twin: a tiny
-campaign with one clean, one dup, one heavy-drop, and one
-crash-at-t=0 cell — the lossy pair strands, burns its retry budget,
-and is quarantined while the clean results stay untouched.
+per point — plus, for RCV, the same grid over the reliable
+(ack/retransmit) channel as a ``completion_rate_retx`` column: the
+completion cliff and its flattening side by side.
+``test_campaign_fault_smoke`` is its CI twin: a tiny campaign with
+one clean, one dup, one heavy-drop, and one crash-at-t=0 cell — the
+lossy pair strands, burns its retry budget, and is quarantined while
+the clean results stay untouched.
+``test_campaign_fault_recovery_smoke`` inverts it (the heavy-drop
+cell completes under retx, nothing quarantined, clean cells
+bit-for-bit untouched) and ``test_retx_completion_floor_under_drop``
+guards the >= 0.99 with-retx completion floor at drop p = 0.1 for
+N in {50, 100, 200}.
 """
 
 import json
@@ -541,11 +549,90 @@ def test_campaign_fault_smoke(tmp_path=None):
     )
 
 
+def test_campaign_fault_recovery_smoke(tmp_path=None):
+    """The quarantine story inverted (see test_campaign_fault_smoke):
+    the same heavy-drop cell that strands and is quarantined without
+    retransmission completes under the reliable channel — no retries
+    burned, nothing quarantined — while the clean cell's payload stays
+    exactly the no-campaign, no-retx reference."""
+    from dataclasses import replace
+
+    from repro.experiments import Campaign
+    from repro.workload.runner import run_scenario
+
+    root = tmp_path or Path(tempfile.mkdtemp(prefix="campaign-recovery-"))
+    clean = CellSpec("rcv", 6, 0, ("burst", 1))
+    heavy_drop_retx = CellSpec(
+        "rcv", 6, 0, ("burst", 1),
+        faults=(("drop", 0.9),),
+        retx=_FAULT_RETX,
+    )
+    campaign = Campaign(name="fault-recovery-smoke")
+    campaign.cells.extend([clean, heavy_drop_retx])
+
+    cache = CellCache(backend=SQLiteBackend(root / "cells.sqlite"))
+    result = campaign.run(
+        max_workers=1,
+        cache=cache,
+        steal=True,
+        owner="worker-1",
+        steal_timeout=120.0,
+    )
+
+    assert result.complete
+    assert not result.quarantined
+    recovered = result.results[1]
+    assert recovered.all_completed()
+    assert recovered.extra["net_retx_retransmits"] > 0
+    assert recovered.extra["net_retx_giveups"] == 0
+    # Clean cells are untouched by the new layer: bit-for-bit the
+    # no-campaign reference, with no retx counters in the extras.
+    reference = run_scenario(clean.build_scenario())
+    assert result_to_dict(result.results[0]) == result_to_dict(reference)
+    assert not any(
+        # repro-lint: allow(counter-registry) -- prefix probe, not a counter name
+        key.startswith("net_retx_") for key in result.results[0].extra
+    )
+    # ...and the retx cell can never be served from the bare cell's
+    # cache slot (or vice versa): the key covers the retx field.
+    assert cache.get(replace(heavy_drop_retx, retx=())) is None
+
+
+def test_retx_completion_floor_under_drop():
+    """The acceptance floor: at drop p <= 0.1 the RCV-with-retx
+    completion rate must stay >= 0.99 at every campaign scale (the
+    same cells whose bare completion collapses to ~0 — the cliff the
+    `faults` section records, flattened)."""
+    from repro.workload.runner import run_scenario
+
+    for n in _FAULT_N_VALUES:
+        spec = CellSpec(
+            "rcv", n, 0, ("burst", 1),
+            faults=(("drop", 0.10),),
+            retx=_FAULT_RETX,
+        )
+        result = run_scenario(
+            spec.build_scenario(), require_completion=False
+        )
+        rate = result.completed_count / result.issued_count
+        assert rate >= 0.99, (
+            f"N={n}: with-retx completion {rate:.3f} fell below the "
+            "0.99 floor at drop p=0.1"
+        )
+        assert result.extra["net_retx_giveups"] == 0
+
+
 # ----------------------------------------------------------------------
 # resilience grid: NME / sync delay / completion vs fault intensity
 # ----------------------------------------------------------------------
 _FAULT_N_VALUES = (50, 100, 200)
 _FAULT_SEEDS = (0,)
+
+#: the reliable-channel discipline of the with-retx grid columns: a
+#: constant 5-unit rto with a deep retry budget, so at any grid drop
+#: intensity the residual give-up probability is numerically zero and
+#: the column isolates the *protocol* under recovered loss
+_FAULT_RETX = ("retx", 5.0, 1.0, 100)
 
 
 def _round_or_none(value, digits=3):
@@ -562,15 +649,35 @@ def _faults_section():
     partition, a crash) at N in {50, 100, 200}, RCV vs Maekawa —
     messages per entry (NME), mean sync delay, and completion rate
     per point.  Liveness loss shows up as completion < 1 and null
-    NME/sync, not as an error (``require_completion=False``)."""
+    NME/sync, not as an error (``require_completion=False``).
+
+    The RCV rows additionally carry a ``completion_rate_retx``
+    column: the identical grid re-run over the reliable
+    (ack/retransmit) channel (``_FAULT_RETX``).  The bare column is
+    the PR-7 cliff — message loss strands whole bursts — and the
+    with-retx column is it flattened (1.0 across every drop/dup/
+    reorder point), which is the fault-tolerance claim of
+    docs/faults.md's "Recovery" section in one diff."""
     start = time.perf_counter()
     sweep = fault_sweep(_FAULT_N_VALUES, seeds=_FAULT_SEEDS)
+    retx_sweep = fault_sweep(
+        _FAULT_N_VALUES,
+        algorithms=("rcv",),
+        seeds=_FAULT_SEEDS,
+        retx=_FAULT_RETX,
+    )
     secs = time.perf_counter() - start
+
+    def _completion(runs):
+        issued = sum(r.issued_count for r in runs)
+        completed = sum(r.completed_count for r in runs)
+        return round(completed / issued, 3) if issued else None
 
     section = {
         "n_values": list(_FAULT_N_VALUES),
         "seeds": list(_FAULT_SEEDS),
         "grid": [label for label, _ in fault_grid(_FAULT_N_VALUES[0])],
+        "retx": list(_FAULT_RETX),
         "seconds": round(secs, 3),
         "algorithms": {},
     }
@@ -579,19 +686,20 @@ def _faults_section():
         for label, by_n in per_label.items():
             rows[label] = {}
             for n, runs in sorted(by_n.items()):
-                issued = sum(r.issued_count for r in runs)
-                completed = sum(r.completed_count for r in runs)
-                rows[label][str(n)] = {
+                point = {
                     "nme": _round_or_none(
                         sum(r.nme for r in runs) / len(runs)
                     ),
                     "sync_delay": _round_or_none(
                         sum(r.mean_sync_delay for r in runs) / len(runs)
                     ),
-                    "completion_rate": round(
-                        completed / issued, 3
-                    ) if issued else None,
+                    "completion_rate": _completion(runs),
                 }
+                if algo in retx_sweep:
+                    point["completion_rate_retx"] = _completion(
+                        retx_sweep[algo][label][n]
+                    )
+                rows[label][str(n)] = point
         section["algorithms"][algo] = rows
     return section
 

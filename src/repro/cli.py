@@ -116,9 +116,24 @@ def build_parser() -> argparse.ArgumentParser:
             "adversarial-network fault, repeatable and composable: "
             "drop:P | dup:P | reorder:WINDOW | "
             "partition:T_CUT:T_HEAL:K (first K nodes vs the rest, "
-            "resolved per N) | crash:NODE:T. Cells that lose liveness "
-            "under faults are retried then quarantined — see "
-            "docs/faults.md"
+            "resolved per N) | crash:NODE:T | recover:NODE:T (revive "
+            "a node crashed earlier in the same spec; the node "
+            "rejoins and resyncs — see docs/faults.md, Recovery). "
+            "Cells that lose liveness under faults are retried then "
+            "quarantined — see docs/faults.md"
+        ),
+    )
+    camp.add_argument(
+        "--retx",
+        metavar="RTO[:BACKOFF[:MAX]]",
+        default=None,
+        help=(
+            "enable the reliable (ack/retransmit) channel: first "
+            "retransmit after RTO simulated time units, timeout "
+            "multiplied by BACKOFF per retry (default 2.0; 1.0 = "
+            "constant timer), at most MAX retries per message "
+            "(default 10). Flattens the fault grid's completion-rate "
+            "cliff — docs/faults.md, Recovery"
         ),
     )
     camp.add_argument(
@@ -441,11 +456,12 @@ def _parse_fault_specs(texts, n_values):
         return ()
     grammar = (
         "drop:P | dup:P | reorder:WINDOW | partition:T_CUT:T_HEAL:K "
-        "| crash:NODE:T"
+        "| crash:NODE:T | recover:NODE:T"
     )
     scalars = {}
     partitions = []
     crashes = []
+    recovers = []
     for text in texts:
         parts = text.split(":")
         kind, params = parts[0], parts[1:]
@@ -478,6 +494,12 @@ def _parse_fault_specs(texts, n_values):
                     f"--fault-spec {text!r}: want crash:NODE:T"
                 )
             crashes.append((int(nums[0]), nums[1]))
+        elif kind == "recover":
+            if len(nums) != 2:
+                raise SystemExit(
+                    f"--fault-spec {text!r}: want recover:NODE:T"
+                )
+            recovers.append((int(nums[0]), nums[1]))
         else:
             raise SystemExit(
                 f"unknown --fault-spec kind {kind!r} (want {grammar})"
@@ -502,6 +524,8 @@ def _parse_fault_specs(texts, n_values):
             spec.append(("partition", tuple(windows)))
         if crashes:
             spec.append(("crash", tuple(crashes)))
+        if recovers:
+            spec.append(("recover", tuple(recovers)))
         return tuple(spec)
 
     from repro.experiments.parallel import normalize_fault_spec
@@ -512,6 +536,38 @@ def _parse_fault_specs(texts, n_values):
         except ValueError as exc:
             raise SystemExit(f"bad --fault-spec at N={n}: {exc}")
     return faults_for
+
+
+def _parse_retx_spec(text):
+    """Parse ``--retx RTO[:BACKOFF[:MAX]]`` into a retx spec tuple.
+
+    Validated eagerly through the campaign layer's typed guard
+    (:func:`~repro.experiments.parallel.normalize_retx_spec`), which
+    names the bad field — so a malformed spec dies with a one-line
+    message before any work starts.
+    """
+    if text is None:
+        return ()
+    from repro.experiments.parallel import normalize_retx_spec
+
+    parts = text.split(":")
+    if not (1 <= len(parts) <= 3):
+        raise SystemExit(
+            f"malformed --retx {text!r} (want RTO[:BACKOFF[:MAX]])"
+        )
+    try:
+        rto = float(parts[0])
+        backoff = float(parts[1]) if len(parts) > 1 else 2.0
+        max_retries = int(parts[2]) if len(parts) > 2 else 10
+    except ValueError:
+        raise SystemExit(
+            f"malformed --retx {text!r} (want RTO[:BACKOFF[:MAX]], "
+            "numeric)"
+        )
+    try:
+        return normalize_retx_spec(("retx", rto, backoff, max_retries))
+    except ValueError as exc:  # UnrepresentableScenarioError included
+        raise SystemExit(f"bad --retx: {exc}")
 
 
 def _parse_shard(text):
@@ -545,6 +601,7 @@ def _cmd_campaign(args) -> int:
         cs_time=_parse_spec(args.cs_spec, "cs_time"),
         delay=_parse_spec(args.delay_spec, "delay"),
         faults=_parse_fault_specs(args.fault_spec, n_values),
+        retx=_parse_retx_spec(args.retx),
     )
     shard = _parse_shard(args.shard)
     out = Path(args.out)
@@ -615,6 +672,7 @@ def _cmd_campaign(args) -> int:
                     if args.fault_spec
                     else ""
                 )
+                + (f", retx {args.retx}" if args.retx else "")
                 + ")"
             ),
             "cells": len(campaign.cells),

@@ -31,7 +31,13 @@ from repro.core.state import SystemInfo
 from repro.core.tuples import ReqTuple
 from repro.net.message import Message
 
-__all__ = ["RequestMessage", "EnterMessage", "InformMessage"]
+__all__ = [
+    "RequestMessage",
+    "EnterMessage",
+    "InformMessage",
+    "SyncRequest",
+    "SyncReply",
+]
 
 _get_cols = attrgetter("cols")
 
@@ -141,3 +147,33 @@ class InformMessage(_SnapshotMessage):
             f"IM#{self.msg_id}(pred={self.pred_tup.describe()}, "
             f"next={self.next_tup.describe()})"
         )
+
+
+class SyncRequest(_SnapshotMessage):
+    """SYNC_REQ — a recovered node asks a peer for its view.
+
+    Sent by :meth:`~repro.core.node.RCVNode.rejoin` after a crash
+    recovery: carries the rejoiner's (stale) SI snapshot so the peer
+    can Exchange-merge anything the rejoiner still holds fresher, and
+    requests the peer's snapshot back.  Pure extension of the paper's
+    Exchange machinery — no new merge semantics (docs/faults.md,
+    "Recovery").
+    """
+
+    kind = "SYNC_REQ"
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return f"SYNC_REQ#{self.msg_id}"
+
+
+class SyncReply(_SnapshotMessage):
+    """SYNC_REP — a peer's snapshot answering a :class:`SyncRequest`."""
+
+    kind = "SYNC_REP"
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return f"SYNC_REP#{self.msg_id}"

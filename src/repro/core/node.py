@@ -32,7 +32,13 @@ from repro.core.config import RCVConfig
 from repro.core.errors import ProtocolInvariantError
 from repro.core.exchange import ExchangeStats, exchange
 from repro.core.forwarding import make_policy
-from repro.core.messages import EnterMessage, InformMessage, RequestMessage
+from repro.core.messages import (
+    EnterMessage,
+    InformMessage,
+    RequestMessage,
+    SyncReply,
+    SyncRequest,
+)
 from repro.core.order import run_order
 from repro.core.state import SystemInfo
 from repro.core.tuples import ReqTuple
@@ -91,6 +97,7 @@ class RCVNode(MutexNode):
             "rm_forwarded": 0,
             "rm_parked": 0,
             "rm_relaunched": 0,
+            "rejoins": 0,
             "stale_em": 0,
             "stale_rm": 0,
         }
@@ -169,6 +176,45 @@ class RCVNode(MutexNode):
         self._cancel_recovery()
         super()._grant()
 
+    # ------------------------------------------------------------------
+    # crash recovery (engine ``("recover", ...)`` fault kind)
+    # ------------------------------------------------------------------
+    def rejoin(self) -> None:
+        """Rejoin after a fail-stop crash window (docs/faults.md).
+
+        Called by the engine's ``fault:recover`` event right after the
+        network revives this node.  The node's in-memory state
+        survived (fail-stop, not amnesia) but everything that happened
+        during the outage was lost on the wire, so:
+
+        1. if our own request is still pending and not yet ordered
+           anywhere we know of, re-announce it (relaunch the RM with a
+           fresh unvisited list — same idempotent-relaunch argument as
+           :meth:`_recover`);
+        2. resync the SI table: SYNC_REQ to every live peer carrying
+           our snapshot; each peer Exchange-merges it and answers with
+           SYNC_REP, which we Exchange-merge in turn.  No new merge
+           semantics — the paper's Exchange machinery already makes
+           state reconciliation commutative and idempotent; RCV's lack
+           of a static quorum structure is exactly why a rejoiner
+           needs no membership ceremony (Maekawa, the contrast case,
+           has no hook and rejoins with stale grant state).
+        """
+        self.counters["rejoins"] += 1
+        if (
+            self.state is NodeState.REQUESTING
+            and self.current_tup is not None
+            and self.current_tup not in self.si.nonl
+        ):
+            self.counters["rm_relaunched"] += 1
+            self._forward_rm(
+                self.node_id, self.current_tup, self._initial_ul(), hops=0
+            )
+        for dst in self._initial_ul():
+            self.env.send(
+                self.node_id, dst, SyncRequest(self.si.snapshot())
+            )
+
     def _do_release(self) -> None:
         """Paper lines 17–24: mark finished, wake the successor."""
         tup = self.current_tup
@@ -198,6 +244,10 @@ class RCVNode(MutexNode):
             self._on_em(message)
         elif isinstance(message, InformMessage):
             self._on_im(message)
+        elif isinstance(message, SyncRequest):
+            self._on_sync_request(src, message)
+        elif isinstance(message, SyncReply):
+            self._on_sync_reply(message)
         else:
             raise TypeError(f"RCVNode cannot handle {message!r}")
 
@@ -335,6 +385,20 @@ class RCVNode(MutexNode):
                 f"{self.next_tup.describe()} and {next_tup.describe()}"
             )
         self.next_tup = next_tup  # line 31
+
+    # -- SYNC (crash recovery) -------------------------------------------
+    def _on_sync_request(self, src: int, msg: SyncRequest) -> None:
+        """A recovered peer asks for our view: merge theirs, reply."""
+        self._exchange(msg.si)
+        self.env.send(
+            self.node_id, src, SyncReply(self.si.snapshot())
+        )
+        self._reprocess_parked()
+
+    def _on_sync_reply(self, msg: SyncReply) -> None:
+        """A peer's snapshot after our rejoin: merge it."""
+        self._exchange(msg.si)
+        self._reprocess_parked()
 
     # ------------------------------------------------------------------
     # ordering notifications (paper lines 38–45)

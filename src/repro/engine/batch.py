@@ -111,8 +111,10 @@ class CellTemplate:
             # per-run FaultPlan/FaultyChannel state from them), and the
             # template key is the normalized spec *including* faults —
             # so warm reuse can never leak a fault schedule into a
-            # different cell family.
+            # different cell family.  The retx spec is pure data the
+            # same way (per-run ReliableChannel state is engine-built).
             faults=self.spec.faults,
+            retx=self.spec.retx,
         )
 
     def run(self, seed: int, *, require_completion: bool = True) -> RunResult:

@@ -36,6 +36,7 @@ from repro.mutex.base import Hooks, SimEnv
 from repro.net.channels import RawChannel
 from repro.net.faults import FaultPlan, FaultyChannel
 from repro.net.network import Network
+from repro.net.retx import ReliableChannel, normalize_retx
 from repro.registry import get_algorithm
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
@@ -43,6 +44,7 @@ from repro.sim.streams import (
     NODE_KIND_DRIVER,
     STREAM_NET_DELAY,
     STREAM_NET_FAULTS,
+    STREAM_NET_RETX,
 )
 from repro.workload.arrivals import TraceArrivals
 from repro.workload.driver import NodeDriver
@@ -76,6 +78,21 @@ class Engine:
                 self.rngs.stream(STREAM_NET_FAULTS),
             )
             channel = self.fault_channel
+        # Reliable delivery wraps outermost: each retransmission
+        # attempt re-enters the fault fabric (so retransmits compose
+        # with drop/dup/reorder) and the discipline sees the fault
+        # plan's outage schedule to retransmit past partitions and
+        # crash windows.  retx=() builds the exact pre-retx stack.
+        self._retx = normalize_retx(scenario.retx)
+        self.reliable_channel: Optional[ReliableChannel] = None
+        if self._retx:
+            self.reliable_channel = ReliableChannel(
+                channel or RawChannel(),
+                self._retx,
+                self.rngs.stream(STREAM_NET_RETX),
+                plan=self._fault_plan,
+            )
+            channel = self.reliable_channel
         self.network = Network(
             self.sim,
             delay_model=scenario.delay_model,
@@ -172,6 +189,23 @@ class Engine:
                 lambda n=node_id: network.fail_node(n),
                 label="fault:crash",
             )
+        for node_id, t in plan.recovers:
+            self.sim.schedule(
+                t,
+                lambda n=node_id: self._recover_fault(n),
+                label="fault:recover",
+            )
+
+    def _recover_fault(self, node_id: int) -> None:
+        """Revive a crashed node: traffic flows again, then the node's
+        ``rejoin`` hook (if it has one) re-announces pending work and
+        resyncs state — RCV resyncs its SI table through SYNC_REQ/
+        SYNC_REP exchanges; algorithms without a hook (Maekawa, the
+        contrast case) just rejoin silently with stale state."""
+        self.network.recover_node(node_id)
+        rejoin = getattr(self.nodes[node_id], "rejoin", None)
+        if rejoin is not None:
+            rejoin()
 
     def run(self, *, require_completion: bool = True) -> RunResult:
         """Execute the scenario to its end and return the result.
@@ -211,6 +245,12 @@ class Engine:
             # bit-for-bit identical to pre-fault builds.
             extra["net_fault_drops"] = self.fault_channel.dropped
             extra["net_fault_dups"] = self.fault_channel.duplicated
+        if self.reliable_channel is not None:
+            # Likewise, only retx runs carry the transport counters.
+            extra["net_retx_retransmits"] = self.reliable_channel.retransmits
+            extra["net_retx_suppressed"] = self.reliable_channel.suppressed
+            extra["net_retx_giveups"] = self.reliable_channel.giveups
+            extra["net_retx_acks_lost"] = self.reliable_channel.acks_lost
         return self.collector.finalize(
             algorithm=self.scenario.algorithm,
             n_nodes=self.scenario.n_nodes,

@@ -48,6 +48,7 @@ from repro.experiments.parallel import (
     ProgressReporter,
     UnrepresentableScenarioError,
     normalize_fault_spec,
+    normalize_retx_spec,
     parallel_burst_sweep,
     parallel_lambda_sweep,
     run_cells,
@@ -83,6 +84,7 @@ __all__ = [
     "comparison_campaign",
     "lambda_sweep",
     "normalize_fault_spec",
+    "normalize_retx_spec",
     "parallel_burst_sweep",
     "parallel_lambda_sweep",
     "render_chart",

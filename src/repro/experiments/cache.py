@@ -59,6 +59,7 @@ def _spec_to_jsonable(spec) -> dict:
         "delay": list(spec.delay),
         "algo_kwargs": repr(spec.algo_kwargs),
         "faults": repr(spec.faults),
+        "retx": repr(spec.retx),
     }
 
 

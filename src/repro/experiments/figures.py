@@ -282,6 +282,7 @@ def fault_grid(n: int) -> Tuple[Tuple[str, Tuple], ...]:
         ("clean", ()),
         ("drop-1%", (("drop", 0.01),)),
         ("drop-4%", (("drop", 0.04),)),
+        ("drop-10%", (("drop", 0.10),)),
         ("dup-2%", (("dup", 0.02),)),
         ("dup-10%", (("dup", 0.10),)),
         ("reorder-5", (("reorder", 5.0),)),
@@ -298,6 +299,7 @@ def fault_sweep(
     *,
     requests_per_node: int = 1,
     grid: Callable[[int], Tuple] = fault_grid,
+    retx: Tuple = (),
 ) -> Dict[str, Dict[str, Dict[int, List[RunResult]]]]:
     """Run the burst grid under each fault model; results[algo][label][n].
 
@@ -308,6 +310,10 @@ def fault_sweep(
     docs/faults.md).  Each (algo, n, fault) family goes through the
     warm :class:`~repro.engine.batch.CellTemplate` path, so this
     sweep also exercises batched fault runs end to end.
+
+    ``retx`` runs the whole grid over the reliable (ack/retransmit)
+    channel — the with-retx columns of the resilience figures
+    (docs/faults.md, "Recovery").
     """
     from repro.engine.batch import CellTemplate
     from repro.experiments.parallel import CellSpec
@@ -324,6 +330,7 @@ def fault_sweep(
                         seed=0,
                         workload=("burst", int(requests_per_node)),
                         faults=faults,
+                        retx=retx,
                     )
                 )
                 runs = [

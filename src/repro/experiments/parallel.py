@@ -66,6 +66,7 @@ __all__ = [
     "normalize_cs_time_spec",
     "normalize_delay_spec",
     "normalize_fault_spec",
+    "normalize_retx_spec",
     "run_cells",
     "parallel_burst_sweep",
     "parallel_lambda_sweep",
@@ -151,6 +152,24 @@ def normalize_fault_spec(faults, n_nodes: Optional[int] = None) -> Tuple:
 
     try:
         return normalize_faults(faults, n_nodes=n_nodes)
+    except UnrepresentableScenarioError:
+        raise
+    except ValueError as exc:
+        raise UnrepresentableScenarioError(str(exc)) from None
+
+
+def normalize_retx_spec(retx) -> Tuple:
+    """Canonical retx spec tuple, or :class:`UnrepresentableScenarioError`.
+
+    Like :func:`normalize_fault_spec`, the grammar lives with the
+    transport (:func:`repro.net.retx.normalize_retx`); this wrapper
+    maps its :class:`ValueError` — which names the bad field — onto
+    the campaign layer's typed guard.
+    """
+    from repro.net.retx import normalize_retx
+
+    try:
+        return normalize_retx(retx)
     except UnrepresentableScenarioError:
         raise
     except ValueError as exc:
@@ -290,6 +309,12 @@ class CellSpec:
     fabric.  The normalized faults participate in :meth:`cache_key`,
     so a faulty cell and its clean twin can never alias in any cache
     backend.
+
+    ``retx`` is the reliable-delivery spec ``("retx", rto, backoff,
+    max_retries)`` per :func:`repro.net.retx.normalize_retx` (``()``
+    disables it).  Like ``faults``, it participates in
+    :meth:`cache_key`, so a retx cell can never alias its no-retx
+    twin.
     """
 
     algorithm: str
@@ -300,6 +325,7 @@ class CellSpec:
     delay: Union[float, Tuple] = 5.0
     algo_kwargs: tuple = field(default=())  # dict items, hashable form
     faults: Tuple = ()
+    retx: Tuple = ()
 
     # ------------------------------------------------------------------
     def normalized(self) -> "CellSpec":
@@ -325,6 +351,7 @@ class CellSpec:
             delay=_normalize_spec(self.delay, _DELAY_KINDS, "delay"),
             algo_kwargs=tuple(sorted(self.algo_kwargs)),
             faults=normalize_fault_spec(self.faults, self.n_nodes),
+            retx=normalize_retx_spec(self.retx),
         )
 
     def cache_key(self) -> str:
@@ -355,6 +382,7 @@ class CellSpec:
                 spec.delay,
                 spec.algo_kwargs,
                 spec.faults,
+                spec.retx,
             )
         )
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
@@ -387,6 +415,7 @@ class CellSpec:
             drain_deadline=drain_deadline,
             algo_kwargs=dict(self.algo_kwargs),
             faults=normalize_fault_spec(self.faults, self.n_nodes),
+            retx=normalize_retx_spec(self.retx),
         )
 
     @classmethod
@@ -437,6 +466,7 @@ class CellSpec:
             delay=delay_model_spec(scenario.delay_model),
             algo_kwargs=tuple(sorted(scenario.algo_kwargs.items())),
             faults=scenario.faults,
+            retx=scenario.retx,
         ).normalized()
 
 
@@ -873,6 +903,7 @@ def parallel_burst_sweep(
     delay: Union[float, Tuple] = 5.0,
     algo_kwargs: tuple = (),
     faults: Tuple = (),
+    retx: Tuple = (),
     max_workers: Optional[int] = None,
     cache=None,
 ) -> Dict[str, Dict[int, List[RunResult]]]:
@@ -895,6 +926,7 @@ def parallel_burst_sweep(
             delay=delay,
             algo_kwargs=algo_kwargs,
             faults=faults,
+            retx=retx,
         )
         for a in algorithms
         for n in n_values
@@ -920,6 +952,7 @@ def parallel_lambda_sweep(
     delay: Union[float, Tuple] = 5.0,
     algo_kwargs: tuple = (),
     faults: Tuple = (),
+    retx: Tuple = (),
     max_workers: Optional[int] = None,
     cache=None,
 ) -> Dict[str, Dict[float, List[RunResult]]]:
@@ -935,6 +968,7 @@ def parallel_lambda_sweep(
             delay=delay,
             algo_kwargs=algo_kwargs,
             faults=faults,
+            retx=retx,
         )
         for a in algorithms
         for v in inv_lambdas

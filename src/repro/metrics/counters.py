@@ -20,7 +20,12 @@ __all__ = ["COUNTERS", "PROFILE_COUNTER_KEYS", "RESERVED_PREFIXES"]
 #: String-literal prefixes reserved for registered counters; the
 #: linter flags any literal with one of these prefixes that is not a
 #: key of :data:`COUNTERS`.
-RESERVED_PREFIXES: Tuple[str, ...] = ("si_", "exch_", "net_fault_")
+RESERVED_PREFIXES: Tuple[str, ...] = (
+    "si_",
+    "exch_",
+    "net_fault_",
+    "net_retx_",
+)
 
 #: Every deterministic counter a run may carry in ``RunResult.extra``,
 #: with what it measures.  Producers and consumers both reference
@@ -46,6 +51,11 @@ COUNTERS: Dict[str, str] = {
     # -- fault fabric (engine/engine.py; fault runs only) --------------
     "net_fault_drops": "messages dropped by the injected fault channel",
     "net_fault_dups": "messages duplicated by the injected fault channel",
+    # -- reliable channel (engine/engine.py; retx runs only) -----------
+    "net_retx_retransmits": "retransmission attempts by the reliable channel",
+    "net_retx_suppressed": "duplicate deliveries suppressed by receive-side dedupe",
+    "net_retx_giveups": "messages abandoned after exhausting max_retries",
+    "net_retx_acks_lost": "acks lost to the drop fault (one spurious resend each)",
 }
 
 #: The ordered subset ``benchmarks/bench_profile.py`` prints as the

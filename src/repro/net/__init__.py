@@ -19,7 +19,12 @@ the knobs to stress it:
   (:func:`~repro.net.faults.normalize_faults`), the seeded
   :class:`~repro.net.faults.FaultyChannel`, and the
   :class:`~repro.net.faults.FaultPlan` driving engine-scheduled
-  partition/crash events;
+  partition/crash/recover events;
+* :mod:`~repro.net.retx` — the reliable (ack/retransmit) delivery
+  discipline: :class:`~repro.net.retx.ReliableChannel` layers
+  at-least-once delivery with receive-side dedupe over any channel
+  (including the fault fabric), spec-normalized by
+  :func:`~repro.net.retx.normalize_retx`;
 * :mod:`~repro.net.network` — the delivery fabric binding a
   :class:`~repro.sim.kernel.Simulator` to a set of actors, with
   message accounting by type.
@@ -37,6 +42,7 @@ from repro.net.delay import (
 )
 from repro.net.message import Message
 from repro.net.network import Network, NetworkStats
+from repro.net.retx import ReliableChannel, normalize_retx
 from repro.net.topology import LatencyMatrix, Topology
 
 __all__ = [
@@ -54,7 +60,9 @@ __all__ = [
     "Network",
     "NetworkStats",
     "RawChannel",
+    "ReliableChannel",
     "normalize_faults",
+    "normalize_retx",
     "Topology",
     "UniformDelay",
 ]

@@ -29,6 +29,16 @@ __all__ = ["ChannelDiscipline", "RawChannel", "FifoChannel"]
 class ChannelDiscipline(ABC):
     """Computes the delivery timestamp of each message on a pair."""
 
+    #: Whether this discipline models scheduled outages (partitions,
+    #: crashed destinations) itself.  When True, the
+    #: :class:`~repro.net.network.Network` stops suppressing sends into
+    #: a partition or towards a crashed destination and lets the
+    #: discipline decide — :class:`~repro.net.retx.ReliableChannel`
+    #: needs the attempt-by-attempt view so retransmission can bridge
+    #: an outage window.  Sends *from* a crashed node are always
+    #: swallowed by the Network (a dead host transmits nothing).
+    handles_outages = False
+
     @abstractmethod
     def delivery_time(
         self,

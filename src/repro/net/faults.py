@@ -36,6 +36,18 @@ fault tuple                                     semantics
                                                 already on the wire
                                                 still arrive (a crash
                                                 does not retract them)
+``("recover", ((node, t), ...))``               ``node`` — which must
+                                                crash strictly earlier
+                                                in the same spec —
+                                                revives at ``t``: its
+                                                traffic flows again
+                                                and the engine invokes
+                                                the node's ``rejoin``
+                                                hook (RCV re-announces
+                                                a pending RM and
+                                                resyncs its SI table;
+                                                see docs/faults.md,
+                                                "Recovery")
 ==============================================  =======================
 
 composable as one tuple, e.g. ``(("drop", 0.02), ("reorder", 10.0))``.
@@ -69,7 +81,14 @@ from repro.net.delay import DelayModel
 __all__ = ["FAULT_KINDS", "FaultPlan", "FaultyChannel", "normalize_faults"]
 
 #: canonical ordering of fault kinds inside a normalized spec
-FAULT_KINDS: Tuple[str, ...] = ("drop", "dup", "reorder", "partition", "crash")
+FAULT_KINDS: Tuple[str, ...] = (
+    "drop",
+    "dup",
+    "reorder",
+    "partition",
+    "crash",
+    "recover",
+)
 
 
 def _probability(kind: str, params) -> float:
@@ -127,28 +146,51 @@ def _partition_schedule(params, n_nodes: Optional[int]) -> Tuple:
     return tuple(sorted(windows))
 
 
-def _crash_schedule(params, n_nodes: Optional[int]) -> Tuple:
+def _crash_schedule(kind: str, params, n_nodes: Optional[int]) -> Tuple:
     if len(params) != 1:
-        raise ValueError('fault ("crash", entries) wants exactly one entry list')
+        raise ValueError(
+            f'fault ("{kind}", entries) wants exactly one entry list'
+        )
     entries = []
     seen = set()
     for entry in params[0]:
         entry = tuple(entry)
         if len(entry) != 2:
-            raise ValueError(f"crash entry {entry!r}: want (node, t)")
+            raise ValueError(f"{kind} entry {entry!r}: want (node, t)")
         node, t = int(entry[0]), float(entry[1])
         if node < 0 or (n_nodes is not None and node >= n_nodes):
             raise ValueError(
-                f"crash names node {node}, outside the scenario's "
+                f"{kind} names node {node}, outside the scenario's "
                 f"0..{'N-1' if n_nodes is None else n_nodes - 1} range"
             )
         if t < 0.0:
-            raise ValueError(f"crash entry {entry!r}: time must be >= 0")
+            raise ValueError(f"{kind} entry {entry!r}: time must be >= 0")
         if node in seen:
-            raise ValueError(f"crash schedule names node {node} twice")
+            raise ValueError(f"{kind} schedule names node {node} twice")
         seen.add(node)
         entries.append((node, t))
     return tuple(sorted(entries, key=lambda e: (e[1], e[0])))
+
+
+def _check_recover_entries(by_kind: dict) -> None:
+    """A recover entry only makes sense against an earlier crash of
+    the same node — anything else is a spec typo, not a scenario."""
+    recover = by_kind.get("recover")
+    if recover is None:
+        return
+    crash_at = dict(by_kind["crash"][1]) if "crash" in by_kind else {}
+    for node, t in recover[1]:
+        crashed = crash_at.get(node)
+        if crashed is None:
+            raise ValueError(
+                f"recover names node {node}, which the spec never "
+                "crashes — compose a crash entry for it"
+            )
+        if not (crashed < t):
+            raise ValueError(
+                f"recover entry ({node}, {t}): node {node} crashes at "
+                f"{crashed}, so it must recover strictly later"
+            )
 
 
 def normalize_faults(faults, *, n_nodes: Optional[int] = None) -> Tuple:
@@ -194,11 +236,12 @@ def normalize_faults(faults, *, n_nodes: Optional[int] = None) -> Tuple:
             if not schedule:
                 continue
             by_kind[kind] = (kind, schedule)
-        else:  # crash
-            schedule = _crash_schedule(params, n_nodes)
+        else:  # crash / recover
+            schedule = _crash_schedule(kind, params, n_nodes)
             if not schedule:
                 continue
             by_kind[kind] = (kind, schedule)
+    _check_recover_entries(by_kind)
     return tuple(by_kind[kind] for kind in FAULT_KINDS if kind in by_kind)
 
 
@@ -211,7 +254,15 @@ class FaultPlan:
     relies on this).
     """
 
-    __slots__ = ("spec", "drop", "dup", "reorder", "partitions", "crashes")
+    __slots__ = (
+        "spec",
+        "drop",
+        "dup",
+        "reorder",
+        "partitions",
+        "crashes",
+        "recovers",
+    )
 
     def __init__(self, faults, *, n_nodes: Optional[int] = None) -> None:
         self.spec = normalize_faults(faults, n_nodes=n_nodes)
@@ -220,11 +271,14 @@ class FaultPlan:
         self.reorder = 0.0
         self.partitions: Tuple = ()
         self.crashes: Tuple = ()
+        self.recovers: Tuple = ()
         for kind, value in self.spec:
             if kind == "partition":
                 self.partitions = value
             elif kind == "crash":
                 self.crashes = value
+            elif kind == "recover":
+                self.recovers = value
             else:
                 setattr(self, kind, value)
 
@@ -241,8 +295,35 @@ class FaultPlan:
 
     @property
     def scheduled_faults(self) -> bool:
-        """True when the engine must schedule partition/crash events."""
-        return bool(self.partitions or self.crashes)
+        """True when the engine must schedule partition/crash/recover
+        events."""
+        return bool(self.partitions or self.crashes or self.recovers)
+
+    # ------------------------------------------------------------------
+    # outage queries (pure data; used by the ReliableChannel to model
+    # retransmission across scheduled outages analytically)
+    # ------------------------------------------------------------------
+    def node_down(self, node: int, t: float) -> bool:
+        """Whether ``node`` is crashed (and not yet recovered) at ``t``."""
+        for crashed, t_crash in self.crashes:
+            if crashed == node:
+                if t < t_crash:
+                    return False
+                for revived, t_rec in self.recovers:
+                    if revived == node and t >= t_rec:
+                        return False
+                return True
+        return False
+
+    def pair_cut(self, src: int, dst: int, t: float) -> bool:
+        """Whether a partition window severs ``src``/``dst`` at ``t``."""
+        for t_cut, t_heal, group_a, group_b in self.partitions:
+            if t_cut <= t < t_heal:
+                if (src in group_a and dst in group_b) or (
+                    src in group_b and dst in group_a
+                ):
+                    return True
+        return False
 
     def __repr__(self) -> str:
         return f"FaultPlan({self.spec!r})"

@@ -224,10 +224,16 @@ class Network:
         if actor is None:
             raise KeyError(f"unknown destination node {dst}")
         self.stats.record_send(message)
-        if (src, dst) in self._partitioned:
+        handles_outages = self.channel.handles_outages
+        if (src, dst) in self._partitioned and not handles_outages:
             return  # dropped by the injected partition
-        if src in self._failed or dst in self._failed:
-            return  # fail-stop crash: traffic to/from the node is lost
+        if src in self._failed:
+            return  # fail-stop crash: a dead host transmits nothing
+        if dst in self._failed and not handles_outages:
+            # Traffic towards a crashed node is lost — unless the
+            # channel discipline models outages itself (ReliableChannel
+            # retransmits past the outage window from the fault plan).
+            return
         pair_delays = self._pair_delays
         if pair_delays is not None and not self._taps:
             delay = pair_delays.get((src, dst))

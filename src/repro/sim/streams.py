@@ -26,6 +26,7 @@ from __future__ import annotations
 __all__ = [
     "STREAM_NET_DELAY",
     "STREAM_NET_FAULTS",
+    "STREAM_NET_RETX",
     "NODE_KIND_DRIVER",
     "NODE_KIND_RCV_FORWARD",
     "STREAM_NAMES",
@@ -40,6 +41,12 @@ STREAM_NET_DELAY = "net/delay"
 #: fault cells never perturb the delay/workload draws of clean cells.
 STREAM_NET_FAULTS = "net/faults"
 
+#: Ack-loss draws of the reliable (ack/retransmit) channel — again its
+#: own stream, so enabling retransmission never perturbs the delay,
+#: workload, or fault draws (streams are name-derived, so a run with
+#: retx disabled simply never creates this one).
+STREAM_NET_RETX = "net/retx"
+
 #: Per-node workload driver: arrival interludes and CS hold times.
 NODE_KIND_DRIVER = "driver"
 
@@ -47,7 +54,9 @@ NODE_KIND_DRIVER = "driver"
 NODE_KIND_RCV_FORWARD = "rcv-fwd"
 
 #: All registered full stream names.
-STREAM_NAMES = frozenset({STREAM_NET_DELAY, STREAM_NET_FAULTS})
+STREAM_NAMES = frozenset(
+    {STREAM_NET_DELAY, STREAM_NET_FAULTS, STREAM_NET_RETX}
+)
 
 #: All registered per-node stream kinds.
 NODE_STREAM_KINDS = frozenset({NODE_KIND_DRIVER, NODE_KIND_RCV_FORWARD})

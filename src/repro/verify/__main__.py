@@ -55,7 +55,7 @@ def main(argv=None) -> int:
         default=0,
         metavar="K",
         help="adversary may drop up to K messages (default: 0; "
-        "disables the stuck check)",
+        "disables the stuck check unless --retx is given)",
     )
     parser.add_argument(
         "--dups",
@@ -63,6 +63,19 @@ def main(argv=None) -> int:
         default=0,
         metavar="K",
         help="adversary may duplicate up to K messages (default: 0)",
+    )
+    parser.add_argument(
+        "--retx",
+        action="store_true",
+        help="model the reliable (ack/retransmit) channel: dropped "
+        "messages are retransmitted, duplicates are deduped on "
+        "receive, and the stuck check stays armed under --drops",
+    )
+    parser.add_argument(
+        "--broken-retx",
+        action="store_true",
+        help="plant the skip-retransmit-on-timeout transport mutant "
+        "(drops become permanent again; requires --retx)",
     )
     parser.add_argument(
         "--search",
@@ -178,6 +191,8 @@ def main(argv=None) -> int:
             fifo=args.channel == "fifo",
             drop_budget=args.drops,
             dup_budget=args.dups,
+            retx=args.retx,
+            retx_broken=args.broken_retx,
             checks=checks,
             reduce=args.reduce,
             symmetry=args.symmetry,

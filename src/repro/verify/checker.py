@@ -157,6 +157,8 @@ class Checker:
         fifo: bool = False,
         drop_budget: int = 0,
         dup_budget: int = 0,
+        retx: bool = False,
+        retx_broken: bool = False,
         oracle: bool = False,
         checks: Tuple[str, ...] = DEFAULT_CHECKS,
         reduce: str = "sleep",
@@ -184,11 +186,18 @@ class Checker:
                 "symmetry reduction is implemented for non-FIFO "
                 "fingerprints only"
             )
+        if retx_broken and not retx:
+            raise VerifyError(
+                "retx_broken plants a broken retransmit timer and "
+                "requires retx=True"
+            )
         self.model = model
         self.requests = requests
         self.fifo = fifo
         self.drop_budget = drop_budget
         self.dup_budget = dup_budget
+        self.retx = bool(retx)
+        self.retx_broken = bool(retx_broken)
         self.oracle = oracle
         self.checks = tuple(checks)
         self.reduce = reduce
@@ -199,7 +208,13 @@ class Checker:
         self.stop_on_first = stop_on_first
         # Dropping a message legitimately wedges its requester —
         # PR-7 classifies that as liveness loss, not a safety bug.
-        self._stuck_enabled = "stuck" in checks and drop_budget == 0
+        # Under the reliable channel a drop is retransmitted, so
+        # stuck-freedom is CHECKABLE under nonzero drop budgets —
+        # that is the point of modeling retx (unless retx_broken
+        # plants the skip-retransmit mutant, which must get caught).
+        self._stuck_enabled = "stuck" in checks and (
+            drop_budget == 0 or self.retx
+        )
         self._trace: List[Tuple[int, dict]] = []
 
     # ------------------------------------------------------------------
@@ -217,6 +232,11 @@ class Checker:
             max_states=self.max_states,
             max_depth=self.max_depth,
         )
+        # Only when set, so pre-retx schedule JSON replays unchanged.
+        if self.retx:
+            out["retx"] = True
+        if self.retx_broken:
+            out["retx_broken"] = True
         return out
 
     # ------------------------------------------------------------------
@@ -333,6 +353,8 @@ class Checker:
             fifo=self.fifo,
             drop_budget=self.drop_budget,
             dup_budget=self.dup_budget,
+            retx=self.retx,
+            retx_broken=self.retx_broken,
             oracle=self.oracle,
         )
         ledger, _ = self._extend_ledger(root, frozenset())

@@ -96,6 +96,8 @@ def _world_from_settings(settings: dict) -> World:
         fifo=settings.get("channel") == "fifo",
         drop_budget=settings.get("drop_budget", 0),
         dup_budget=settings.get("dup_budget", 0),
+        retx=settings.get("retx", False),
+        retx_broken=settings.get("retx_broken", False),
     )
 
 

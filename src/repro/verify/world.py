@@ -181,6 +181,20 @@ class World:
     drop_budget / dup_budget:
         PR-7 fault vocabulary: total messages the adversary may drop /
         duplicate along one path.
+    retx:
+        Model the reliable (ack/retransmit) channel of
+        :mod:`repro.net.retx`: a ``drop`` still spends the adversary's
+        budget but the transport *retransmits* — the message re-enters
+        the in-flight set as a fresh (newest) uid, so a drop becomes a
+        delay/reorder rather than a loss, and the stuck check stays
+        armed under nonzero drop budgets.  A ``dup`` spends its budget
+        but enqueues nothing: receive-side sequence numbers suppress
+        the duplicate at the transport, before the protocol sees it.
+    retx_broken:
+        The planted transport mutant (requires ``retx``): the
+        retransmit timer never fires, so drops silently delete again
+        while the stuck check stays armed — the checker must catch the
+        resulting stuck state.
     oracle:
         Clone via ``copy.deepcopy`` instead of the model's fast
         snapshot path (cross-check for the cloning optimisation).
@@ -194,8 +208,13 @@ class World:
         fifo: bool = False,
         drop_budget: int = 0,
         dup_budget: int = 0,
+        retx: bool = False,
+        retx_broken: bool = False,
         oracle: bool = False,
     ) -> None:
+        if retx_broken and not retx:
+            raise VerifyError("retx_broken models a broken retransmit "
+                              "timer and requires retx=True")
         self.model = model
         self.fifo = fifo
         self.oracle = oracle
@@ -205,6 +224,8 @@ class World:
         self.inflight: Dict[int, Envelope] = {}
         self.drop_left = int(drop_budget)
         self.dup_left = int(dup_budget)
+        self.retx = bool(retx)
+        self.retx_broken = bool(retx_broken)
         self._next_uid = 1
 
     # ------------------------------------------------------------------
@@ -274,14 +295,30 @@ class World:
             elif op == "drop":
                 if self.drop_left <= 0 or action[1] not in self.inflight:
                     raise VerifyError(f"cannot drop uid {action[1]}")
-                del self.inflight[action[1]]
+                envelope = self.inflight.pop(action[1])
                 self.drop_left -= 1
+                if self.retx and not self.retx_broken:
+                    # Reliable channel: the sender's retransmit timer
+                    # re-sends the lost copy, which re-enters the
+                    # network as the newest message — a drop becomes a
+                    # delay/reorder, never a loss.  (retx_broken is
+                    # the skip-retransmit-on-timeout mutant: the plain
+                    # delete above stands.)
+                    env.sent.append(
+                        (envelope.src, envelope.dst, envelope.msg)
+                    )
             elif op == "dup":
                 envelope = self.inflight.get(action[1])
                 if self.dup_left <= 0 or envelope is None:
                     raise VerifyError(f"cannot duplicate uid {action[1]}")
                 self.dup_left -= 1
-                env.sent.append((envelope.src, envelope.dst, envelope.msg))
+                if not self.retx:
+                    env.sent.append(
+                        (envelope.src, envelope.dst, envelope.msg)
+                    )
+                # else: the reliable channel's receive-side dedupe
+                # suppresses the duplicate before the protocol sees
+                # it — the budget is spent, nothing is enqueued.
             else:
                 raise VerifyError(f"unknown action {action!r}")
         except VerifyError:
@@ -321,6 +358,8 @@ class World:
         new.inflight = dict(self.inflight)
         new.drop_left = self.drop_left
         new.dup_left = self.dup_left
+        new.retx = self.retx
+        new.retx_broken = self.retx_broken
         new._next_uid = self._next_uid
         return new
 

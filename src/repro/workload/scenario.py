@@ -87,6 +87,12 @@ class Scenario:
     #: schedules).  ``()`` (the default) is the clean fabric and
     #: leaves the run bit-for-bit identical to pre-fault builds.
     faults: Tuple = ()
+    #: reliable-delivery spec ``("retx", rto, backoff, max_retries)``
+    #: per :func:`repro.net.retx.normalize_retx` — opt-in ack/
+    #: retransmit discipline layered over the fault fabric.  ``()``
+    #: (the default) builds the exact pre-retx stack: no wrapper, no
+    #: ``net/retx`` stream, no ``net_retx_*`` counters.
+    retx: Tuple = ()
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:

@@ -167,3 +167,64 @@ def test_cli_fig6_parallel(capsys, monkeypatch):
     assert cli.main(["fig6", "--parallel"]) == 0
     out = capsys.readouterr().out
     assert "Figure 6" in out and "maekawa" in out
+
+
+def test_cli_campaign_rejects_malformed_recover_and_retx_specs():
+    import pytest
+
+    # recover grammar: arity, numeric coercion, cross-validation
+    with pytest.raises(SystemExit, match="want recover:NODE:T"):
+        cli.main(["campaign", "--fault-spec", "recover:1"])
+    with pytest.raises(SystemExit, match="malformed --fault-spec"):
+        cli.main(["campaign", "--fault-spec", "recover:one:50"])
+    # a recover without a strictly earlier crash dies eagerly, naming
+    # the offending node, before any cell runs
+    with pytest.raises(SystemExit, match="recover names node 1"):
+        cli.main(["campaign", "--fault-spec", "recover:1:50"])
+    with pytest.raises(SystemExit, match="strictly later"):
+        cli.main(
+            [
+                "campaign",
+                "--fault-spec", "crash:1:50",
+                "--fault-spec", "recover:1:50",
+            ]
+        )
+    # retx grammar: arity, numeric coercion, per-field range checks
+    with pytest.raises(SystemExit, match="malformed --retx"):
+        cli.main(["campaign", "--retx", "5:2:10:9"])
+    with pytest.raises(SystemExit, match="malformed --retx"):
+        cli.main(["campaign", "--retx", "fast"])
+    with pytest.raises(SystemExit, match="bad --retx.*rto"):
+        cli.main(["campaign", "--retx", "-5"])
+    with pytest.raises(SystemExit, match="bad --retx.*backoff"):
+        cli.main(["campaign", "--retx", "5:0.5"])
+    with pytest.raises(SystemExit, match="bad --retx.*max_retries"):
+        cli.main(["campaign", "--retx", "5:2:0"])
+
+
+def test_cli_campaign_retx_cells_complete_under_drop(capsys, tmp_path):
+    """The PR-7 quarantine story, inverted: a lossy campaign cell that
+    previously wedged now completes once --retx is given."""
+    out_dir = tmp_path / "camp"
+    argv = [
+        "campaign",
+        "--algorithms", "rcv",
+        "--n-values", "6",
+        "--seeds", "1",
+        "--fault-spec", "drop:0.2",
+        "--retx", "5:1:20",
+        "--out", str(out_dir),
+        "--workers", "1",
+        "--no-progress",
+        "--bench-json", str(out_dir / "bench.json"),
+    ]
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "## Campaign" in out
+
+    import json
+
+    report = json.loads((out_dir / "bench.json").read_text())
+    assert report["cells"] == 1
+    assert report.get("quarantined", 0) == 0
+    assert "retx 5:1:20" in report["bench"]

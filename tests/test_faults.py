@@ -299,3 +299,113 @@ def test_faulty_run_is_deterministic_across_replays():
         for _ in range(2)
     ]
     assert result_to_dict(results[0]) == result_to_dict(results[1])
+
+
+# ----------------------------------------------------------------------
+# crash recovery: grammar cross-validation, plan queries, engine wiring
+# ----------------------------------------------------------------------
+def test_normalize_recover_requires_a_strictly_earlier_crash():
+    # no crash at all
+    with pytest.raises(ValueError):
+        normalize_faults((("recover", ((2, 50.0),)),))
+    # names a node that never crashed
+    with pytest.raises(ValueError):
+        normalize_faults(
+            (("crash", ((1, 10.0),)), ("recover", ((2, 50.0),)))
+        )
+    # revives at (or before) the instant of the crash
+    with pytest.raises(ValueError):
+        normalize_faults(
+            (("crash", ((2, 50.0),)), ("recover", ((2, 50.0),)))
+        )
+    with pytest.raises(ValueError):
+        normalize_faults(
+            (("crash", ((2, 50.0),)), ("recover", ((2, 20.0),)))
+        )
+    # same node revived twice
+    with pytest.raises(ValueError):
+        normalize_faults(
+            (
+                ("crash", ((2, 10.0),)),
+                ("recover", ((2, 20.0), (2, 30.0))),
+            )
+        )
+
+
+def test_normalize_recover_coerces_and_sorts():
+    spec = normalize_faults(
+        (
+            ("recover", [[3, 90], (1, 80.0)]),
+            ("crash", ((1, 20.0), (3, 30.0))),
+        )
+    )
+    assert spec == (
+        ("crash", ((1, 20.0), (3, 30.0))),
+        ("recover", ((1, 80.0), (3, 90.0))),
+    )
+
+
+def test_fault_plan_outage_queries():
+    plan = FaultPlan(
+        (
+            ("crash", ((2, 30.0), (4, 10.0))),
+            ("recover", ((2, 80.0),)),
+        )
+    )
+    assert plan.recovers == ((2, 80.0),)
+    assert plan.scheduled_faults
+    # node 2: down inside [30, 80), up either side of the window
+    assert not plan.node_down(2, 29.9)
+    assert plan.node_down(2, 30.0)
+    assert plan.node_down(2, 79.9)
+    assert not plan.node_down(2, 80.0)
+    # node 4 never recovers; node 0 never crashes
+    assert plan.node_down(4, 1e9)
+    assert not plan.node_down(0, 50.0)
+
+
+def test_fault_plan_pair_cut_window():
+    plan = FaultPlan(
+        (("partition", ((10.0, 20.0, (0, 1), (2, 3)),)),)
+    )
+    assert plan.pair_cut(0, 2, 15.0)
+    assert plan.pair_cut(3, 1, 15.0)  # symmetric
+    assert not plan.pair_cut(0, 1, 15.0)  # same side
+    assert not plan.pair_cut(0, 2, 25.0)  # healed
+    assert not plan.pair_cut(0, 2, 5.0)  # not yet cut
+
+
+def test_engine_recover_schedule_revives_node():
+    faults = (("crash", ((5, 25.0),)), ("recover", ((5, 60.0),)))
+    engine = Engine(_cell(faults=faults).build_scenario())
+    engine.start()
+    engine.sim.run(until=30.0)
+    assert engine.network.is_failed(5)
+    engine.sim.run(until=70.0)
+    assert not engine.network.is_failed(5)
+    assert engine.nodes[5].counters["rejoins"] == 1
+
+
+def test_engine_recover_is_algorithm_agnostic():
+    # Maekawa nodes have no rejoin() hook: recovery still un-fails
+    # the network (duck-typed resync is RCV-specific).
+    faults = (("crash", ((5, 25.0),)), ("recover", ((5, 60.0),)))
+    engine = Engine(
+        _cell(n=9, faults=faults, algorithm="maekawa").build_scenario()
+    )
+    engine.start()
+    engine.sim.run(until=70.0)
+    assert not engine.network.is_failed(5)
+
+
+def test_recovered_node_resyncs_and_run_completes():
+    spec = _cell(
+        n=8,
+        faults=(("crash", ((5, 20.0),)), ("recover", ((5, 120.0),))),
+    )
+    scenario = replace(
+        spec.build_scenario(), retx=("retx", 5.0, 2.0, 10)
+    )
+    result = run_scenario(scenario, require_completion=False)
+    assert result.all_completed()
+    assert result.extra["rejoins"] == 1

@@ -114,3 +114,97 @@ def test_timer_cancelled_on_grant():
     assert node.counters["rm_relaunched"] == 0
     # No stray timer left: the sim drained completely.
     assert h.sim._peek_time() is None
+
+
+# ----------------------------------------------------------------------
+# composition with the fault fabric (PR-7) and the reliable channel:
+# rm_timeout is the protocol-level recovery knob, retx the transport-
+# level one — they must compose, and each must stay cache-distinct
+# ----------------------------------------------------------------------
+def test_rm_timeout_composes_with_fault_specs():
+    """Protocol-level RM regeneration under a lossy fabric: RM losses
+    are regenerated (the timer fires), safety holds, and the run is
+    deterministic — but IM/EM losses stay unrecoverable, so this
+    knob alone cannot flatten the completion cliff."""
+    from repro.engine.engine import run_scenario as run_engine_scenario
+    from repro.metrics.io import result_to_dict
+
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=10,
+        arrivals=BurstArrivals(),
+        seed=5,
+        faults=(("drop", 0.15),),
+        drain_deadline=5_000,
+        algo_kwargs={"config": RCVConfig(rm_timeout=50.0)},
+    )
+    result = run_engine_scenario(scenario, require_completion=False)
+    assert result.extra["rm_relaunched"] >= 1
+    assert result.extra["net_fault_drops"] >= 1
+    assert result.completed_count < result.issued_count
+    again = run_engine_scenario(scenario, require_completion=False)
+    assert result_to_dict(result) == result_to_dict(again)
+
+
+def test_retx_under_rm_timeout_completes_where_timer_alone_cannot():
+    """The same lossy cell with the reliable channel layered in: every
+    request completes, and the RM timer never even fires (transport
+    recovery preempts protocol recovery)."""
+    from repro.engine.engine import run_scenario as run_engine_scenario
+
+    scenario = Scenario(
+        algorithm="rcv",
+        n_nodes=10,
+        arrivals=BurstArrivals(),
+        seed=5,
+        faults=(("drop", 0.15),),
+        retx=("retx", 5.0, 1.0, 20),
+        drain_deadline=5_000,
+        algo_kwargs={"config": RCVConfig(rm_timeout=200.0)},
+    )
+    result = run_engine_scenario(scenario, require_completion=False)
+    assert result.all_completed()
+    assert result.extra["rm_relaunched"] == 0
+    assert result.extra["net_retx_giveups"] == 0
+
+
+def test_retx_cell_never_aliases_its_no_retx_twin():
+    """The cache-key gap this PR closes: a retx cell and its no-retx
+    twin differ ONLY in the retx field, so a key that ignored it would
+    silently serve wedge-prone results as reliable ones (or vice
+    versa) on every backend."""
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.parallel import CellSpec
+
+    base = CellSpec("rcv", 6, 0, ("burst", 1), faults=(("drop", 0.2),))
+    retx = dc_replace(base, retx=("retx", 5.0, 1.0, 20))
+    assert base.cache_key() != retx.cache_key()
+    # the spec-hash canon differs in the retx slot and nothing else
+    assert base.normalized().faults == retx.normalized().faults
+
+
+def test_retx_and_no_retx_cells_stay_distinct_on_every_backend(tmp_path):
+    from dataclasses import replace as dc_replace
+
+    from repro.engine.engine import run_scenario as run_engine_scenario
+    from repro.experiments.cache import CellCache
+    from repro.experiments.parallel import CellSpec
+    from repro.metrics.io import result_to_dict
+    from tests.test_backends import BACKEND_KINDS, close_backend, make_backend
+
+    base = CellSpec("rcv", 6, 0, ("burst", 1), faults=(("drop", 0.2),))
+    retx = dc_replace(base, retx=("retx", 5.0, 1.0, 20))
+    result = run_engine_scenario(retx.build_scenario())
+    assert result.all_completed()
+    for kind in BACKEND_KINDS:
+        backend = make_backend(kind, tmp_path / kind)
+        try:
+            cache = CellCache(backend=backend)
+            cache.put(retx, result)
+            assert cache.get(base) is None, f"{kind}: retx cell aliased"
+            hit = cache.get(retx)
+            assert hit is not None
+            assert result_to_dict(hit) == result_to_dict(result)
+        finally:
+            close_backend(backend)

@@ -292,3 +292,79 @@ def test_cli_list_planted_bugs():
         "blind-commit",
     ):
         assert name in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# the reliable channel in the model (retx): liveness under loss becomes
+# a CHECKABLE property, and the planted transport mutant gets caught
+# ----------------------------------------------------------------------
+def test_rcv_with_retx_is_stuck_free_under_a_drop_budget():
+    """The tentpole's proof obligation: with retransmission modeled,
+    the stuck check stays armed under a nonzero drop budget and the
+    full N=2 space is explored clean — loss is exhaustively shown to
+    be a delay, not a wedge."""
+    result = check("rcv", 2, drop_budget=1, retx=True)
+    assert result.complete and result.violations == []
+    # dropping-then-retransmitting reaches more interleavings than
+    # never dropping at all
+    assert result.states > check("rcv", 2).states
+
+
+def test_stuck_check_stays_armed_when_retx_models_recovery():
+    wedgeable = Checker(make_model("rcv", 2), drop_budget=1)
+    assert not wedgeable._stuck_enabled
+    reliable = Checker(make_model("rcv", 2), drop_budget=1, retx=True)
+    assert reliable._stuck_enabled
+
+
+def test_retx_dedupe_absorbs_the_dup_adversary():
+    """Under retx, a duplicate is consumed by receive-side dedupe, so
+    the dup budget buys the adversary strictly fewer behaviours."""
+    deduped = check("rcv", 2, dup_budget=1, retx=True)
+    assert deduped.complete and deduped.violations == []
+    assert deduped.states < check("rcv", 2, dup_budget=1).states
+
+
+def test_retx_broken_requires_retx():
+    with pytest.raises(VerifyError):
+        Checker(make_model("rcv", 2), retx_broken=True)
+
+
+def test_broken_retx_mutant_is_caught_stuck_at_minimal_depth():
+    """The planted transport bug (skip-retransmit-on-timeout): the
+    checker must find the wedge, at the BFS-minimal depth — two
+    requests, one delivery, one silently-unretransmitted drop."""
+    result = check("rcv", 2, drop_budget=1, retx=True, retx_broken=True)
+    assert result.violations, "checker missed the broken-retx mutant"
+    violation = result.violations[0]
+    assert violation.kind == "stuck"
+    assert violation.depth == 4
+    # round-trip: the exported schedule replays to the same violation
+    sched = schedule_dict(result.to_dict()["settings"], violation)
+    got = replay(sched)
+    assert got is not None
+    assert (got.kind, got.depth) == ("stuck", 4)
+
+
+def test_retx_settings_are_absent_unless_enabled():
+    """Pre-retx schedule JSON must keep replaying unchanged, so the
+    settings dict only grows the new keys when they are set."""
+    plain = Checker(make_model("rcv", 2)).settings()
+    assert "retx" not in plain and "retx_broken" not in plain
+    armed = Checker(make_model("rcv", 2), retx=True).settings()
+    assert armed["retx"] is True and "retx_broken" not in armed
+
+
+def test_cli_retx_flags():
+    clean = _cli("--algo", "rcv", "--n", "2", "--drops", "1", "--retx")
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    assert "no violations" in clean.stdout
+    broken = _cli(
+        "--algo", "rcv", "--n", "2", "--drops", "1",
+        "--retx", "--broken-retx",
+    )
+    assert broken.returncode == 1, broken.stdout + broken.stderr
+    assert "VIOLATION [stuck]" in broken.stdout
+    orphan = _cli("--algo", "rcv", "--n", "2", "--broken-retx")
+    assert orphan.returncode == 2
+    assert "requires retx" in orphan.stderr
